@@ -1,0 +1,96 @@
+/// \file fig2_clocking.cpp
+/// \brief Reproduces Fig. 2: clocking by charge-population modulation. A BDL
+///        wire is divided into four-phase clock zones; deactivated zones are
+///        emptied of surface charges (electrically neutral separators) while
+///        activated zones hold and transport the logic state.
+
+#include "layout/clocking.hpp"
+#include "phys/exhaustive.hpp"
+#include "phys/model.hpp"
+
+#include <cstdio>
+#include <vector>
+
+using namespace bestagon;
+using phys::SiDBSite;
+
+namespace
+{
+
+/// A straight BDL wire of \p pairs vertical pairs; zone z covers
+/// pairs [z * pairs/4, (z+1) * pairs/4).
+std::vector<SiDBSite> make_wire(int pairs)
+{
+    std::vector<SiDBSite> sites;
+    for (int k = 0; k < pairs; ++k)
+    {
+        sites.push_back({15, 1 + 4 * k, 0});
+        sites.push_back({15, 2 + 4 * k, 0});
+    }
+    return sites;
+}
+
+}  // namespace
+
+int main()
+{
+    constexpr int pairs = 8;
+    constexpr int pairs_per_zone = pairs / 4;
+    const auto wire = make_wire(pairs);
+
+    std::printf("Fig. 2: four-phase clocking by charge population modulation\n");
+    std::printf("wire of %d BDL pairs, %d pairs per clock zone\n\n", pairs, pairs_per_zone);
+
+    // deactivating a zone = removing its charges; we model this by simulating
+    // only the activated zones' sites and counting charges per zone
+    for (unsigned phase = 0; phase < layout::num_clock_phases; ++phase)
+    {
+        // zones 'phase' and its predecessor are activated (hold signals);
+        // the others are deactivated separators
+        std::vector<SiDBSite> active_sites;
+        std::vector<int> site_zone;
+        for (int k = 0; k < pairs; ++k)
+        {
+            const int zone = k / pairs_per_zone;
+            const bool activated =
+                zone == static_cast<int>(phase) ||
+                zone == static_cast<int>((phase + layout::num_clock_phases - 1) % 4);
+            if (activated)
+            {
+                active_sites.push_back(wire[2 * static_cast<std::size_t>(k)]);
+                active_sites.push_back(wire[2 * static_cast<std::size_t>(k) + 1]);
+                site_zone.push_back(zone);
+                site_zone.push_back(zone);
+            }
+        }
+
+        phys::SimulationParameters params;
+        params.mu_minus = -0.32;
+        const phys::SiDBSystem system{active_sites, params};
+        const auto gs = phys::exhaustive_ground_state(system);
+
+        unsigned charges_per_zone[4] = {0, 0, 0, 0};
+        for (std::size_t i = 0; i < active_sites.size(); ++i)
+        {
+            if (gs.config[i] != 0)
+            {
+                ++charges_per_zone[site_zone[i]];
+            }
+        }
+
+        std::printf("phase %u: ", phase);
+        for (int z = 0; z < 4; ++z)
+        {
+            const bool activated = z == static_cast<int>(phase) ||
+                                   z == static_cast<int>((phase + 3) % 4);
+            std::printf("zone %d [%s: %u charges]  ", z, activated ? "ACTIVE " : "neutral",
+                        charges_per_zone[z]);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nactivated zones hold one electron per BDL pair (logic capable);\n"
+                "deactivated zones are charge-free separators that suppress cross-talk,\n"
+                "and the active window advances one zone per phase (information flow).\n");
+    return 0;
+}

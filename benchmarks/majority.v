@@ -1,0 +1,9 @@
+module majority(a, b, c, maj);
+  input a;
+  input b;
+  input c;
+  output maj;
+  wire w0;
+  assign w0 = (a & b) | (a & c) | (b & c);
+  assign maj = w0;
+endmodule

@@ -1,0 +1,15 @@
+module mux21(a, b, s, f);
+  input a;
+  input b;
+  input s;
+  output f;
+  wire w0;
+  wire w1;
+  wire w2;
+  wire w3;
+  assign w0 = ~s;
+  assign w1 = a & w0;
+  assign w2 = b & s;
+  assign w3 = w1 | w2;
+  assign f = w3;
+endmodule

@@ -1,0 +1,14 @@
+module par_check(a, b, c, d, ok);
+  input a;
+  input b;
+  input c;
+  input d;
+  output ok;
+  wire w0;
+  wire w1;
+  wire w2;
+  assign w0 = a ^ b;
+  assign w1 = c ^ d;
+  assign w2 = ~(w0 ^ w1);
+  assign ok = w2;
+endmodule

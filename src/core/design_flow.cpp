@@ -1,0 +1,80 @@
+#include "core/design_flow.hpp"
+
+#include "io/verilog.hpp"
+#include "layout/scalable_physical_design.hpp"
+#include "logic/rewriting.hpp"
+#include "logic/tech_mapping.hpp"
+
+namespace bestagon::core
+{
+
+FlowResult run_design_flow(const logic::LogicNetwork& specification, const FlowOptions& options)
+{
+    FlowResult result;
+
+    // (1) specification as XAG
+    result.xag = logic::to_xag(specification);
+
+    // (2) cut rewriting with the exact NPN database
+    if (options.rewrite)
+    {
+        logic::NpnDatabase database;
+        result.rewritten = logic::rewrite(result.xag, database);
+    }
+    else
+    {
+        result.rewritten = result.xag;
+    }
+
+    // (3) technology mapping onto the Bestagon gate set
+    result.mapped = logic::map_to_bestagon(result.rewritten);
+
+    // (4) physical design
+    switch (options.engine)
+    {
+        case PhysicalDesignEngine::exact:
+            result.layout = layout::exact_physical_design(result.mapped, options.exact_options,
+                                                          &result.pd_stats);
+            result.engine_used = "exact";
+            break;
+        case PhysicalDesignEngine::scalable:
+            result.layout = layout::scalable_physical_design(result.mapped);
+            result.engine_used = "scalable";
+            break;
+        case PhysicalDesignEngine::exact_with_fallback:
+            result.layout = layout::exact_physical_design(result.mapped, options.exact_options,
+                                                          &result.pd_stats);
+            result.engine_used = "exact";
+            if (!result.layout.has_value())
+            {
+                result.layout = layout::scalable_physical_design(result.mapped);
+                result.engine_used = "scalable";
+            }
+            break;
+    }
+    if (!result.layout.has_value())
+    {
+        return result;
+    }
+
+    // (5) formal equivalence checking specification <-> layout
+    result.equivalence = layout::check_layout_equivalence(result.mapped, *result.layout);
+
+    // (6) super-tile merging by clock-zone expansion
+    result.supertiles = layout::make_supertiles(*result.layout, options.supertile_expansion);
+
+    // design rules on the final clocked layout
+    result.drc = layout::check_design_rules(*result.supertiles);
+
+    // (7) Bestagon library application -> dot-accurate SiDB layout
+    result.sidb = layout::apply_gate_library(*result.layout, &result.apply_stats);
+
+    return result;
+}
+
+FlowResult run_design_flow_verilog(const std::string& verilog, const FlowOptions& options)
+{
+    return run_design_flow(io::read_verilog_string(verilog), options);
+}
+
+}  // namespace bestagon::core

@@ -1,0 +1,78 @@
+/// \file design_flow.hpp
+/// \brief The complete Bestagon design flow (paper Section 4.2):
+///
+///   (1) parse a specification (Verilog or in-memory network) as XAG,
+///   (2) cut-based rewriting with an exact NPN database,
+///   (3) technology mapping onto the Bestagon gate set,
+///   (4) SAT-based exact physical design on the hexagonal floor plan
+///       (with the scalable heuristic as optional engine),
+///   (5) SAT-based equivalence checking of specification vs. layout,
+///   (6) super-tile merging via clock-zone expansion,
+///   (7) application of the Bestagon library -> dot-accurate SiDB layout,
+///   (8) design-file generation (.sqd / SVG).
+///
+/// This is the library's primary public entry point.
+
+#pragma once
+
+#include "layout/apply_gate_library.hpp"
+#include "layout/design_rules.hpp"
+#include "layout/equivalence_checking.hpp"
+#include "layout/exact_physical_design.hpp"
+#include "layout/gate_level_layout.hpp"
+#include "layout/sidb_layout.hpp"
+#include "layout/supertile.hpp"
+#include "logic/network.hpp"
+
+#include <optional>
+#include <string>
+
+namespace bestagon::core
+{
+
+/// Which placement & routing engine to use in step (4).
+enum class PhysicalDesignEngine : std::uint8_t
+{
+    exact,                      ///< SAT-based, area-minimal [46]
+    scalable,                   ///< constructive heuristic [49]
+    exact_with_fallback         ///< exact first, heuristic if budget exhausted
+};
+
+struct FlowOptions
+{
+    bool rewrite{true};                         ///< enable step (2)
+    PhysicalDesignEngine engine{PhysicalDesignEngine::exact_with_fallback};
+    layout::ExactPDOptions exact_options{};
+    unsigned supertile_expansion{0};            ///< 0 = minimum feasible factor
+};
+
+/// All artifacts and statistics produced by one flow run.
+struct FlowResult
+{
+    logic::LogicNetwork xag;                    ///< after step (1)
+    logic::LogicNetwork rewritten;              ///< after step (2)
+    logic::LogicNetwork mapped;                 ///< after step (3)
+    std::optional<layout::GateLevelLayout> layout;  ///< after step (4)
+    layout::EquivalenceResult equivalence{layout::EquivalenceResult::unknown};  ///< step (5)
+    std::optional<layout::SuperTileLayout> supertiles;  ///< step (6)
+    std::optional<layout::SiDBLayout> sidb;     ///< after step (7)
+    layout::DrcReport drc;                      ///< design-rule report
+    layout::ApplyStats apply_stats;
+    layout::ExactPDStats pd_stats;
+    std::string engine_used;                    ///< "exact" or "scalable"
+
+    [[nodiscard]] bool success() const noexcept
+    {
+        return layout.has_value() && equivalence == layout::EquivalenceResult::equivalent;
+    }
+};
+
+/// Runs the full flow on an in-memory specification network.
+[[nodiscard]] FlowResult run_design_flow(const logic::LogicNetwork& specification,
+                                         const FlowOptions& options = {});
+
+/// Runs the full flow on a gate-level Verilog string.
+[[nodiscard]] FlowResult run_design_flow_verilog(const std::string& verilog,
+                                                 const FlowOptions& options = {});
+
+}  // namespace bestagon::core

@@ -1,0 +1,206 @@
+#include "io/bench_reader.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bestagon::io
+{
+
+namespace
+{
+
+using logic::GateType;
+using logic::LogicNetwork;
+using NodeId = LogicNetwork::NodeId;
+
+std::string trim(const std::string& s)
+{
+    const auto begin = s.find_first_not_of(" \t\r\n");
+    if (begin == std::string::npos)
+    {
+        return "";
+    }
+    const auto end = s.find_last_not_of(" \t\r\n");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::string upper(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+    return s;
+}
+
+}  // namespace
+
+logic::LogicNetwork read_bench(std::istream& in)
+{
+    LogicNetwork net;
+    std::map<std::string, NodeId> signals;
+    std::vector<std::string> outputs;
+    // gate definitions may reference later lines; collect and resolve after
+    struct Def
+    {
+        std::string lhs;
+        std::string op;
+        std::vector<std::string> args;
+    };
+    std::vector<Def> defs;
+
+    std::string line;
+    while (std::getline(in, line))
+    {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+        {
+            line = line.substr(0, hash);
+        }
+        line = trim(line);
+        if (line.empty())
+        {
+            continue;
+        }
+        const auto upper_line = upper(line);
+        if (upper_line.rfind("INPUT", 0) == 0 || upper_line.rfind("OUTPUT", 0) == 0)
+        {
+            const auto open = line.find('(');
+            const auto close = line.rfind(')');
+            if (open == std::string::npos || close == std::string::npos || close <= open)
+            {
+                throw std::runtime_error{"bench: malformed I/O declaration: " + line};
+            }
+            const auto name = trim(line.substr(open + 1, close - open - 1));
+            if (upper_line[0] == 'I')
+            {
+                signals[name] = net.create_pi(name);
+            }
+            else
+            {
+                outputs.push_back(name);
+            }
+            continue;
+        }
+        const auto eq = line.find('=');
+        const auto open = line.find('(', eq);
+        const auto close = line.rfind(')');
+        if (eq == std::string::npos || open == std::string::npos || close == std::string::npos)
+        {
+            throw std::runtime_error{"bench: malformed gate line: " + line};
+        }
+        Def def;
+        def.lhs = trim(line.substr(0, eq));
+        def.op = upper(trim(line.substr(eq + 1, open - eq - 1)));
+        std::istringstream args{line.substr(open + 1, close - open - 1)};
+        std::string arg;
+        while (std::getline(args, arg, ','))
+        {
+            def.args.push_back(trim(arg));
+        }
+        defs.push_back(std::move(def));
+    }
+
+    // resolve definitions iteratively (BENCH files may be unordered)
+    static const std::map<std::string, GateType> ops = {
+        {"AND", GateType::and2},   {"OR", GateType::or2},     {"NAND", GateType::nand2},
+        {"NOR", GateType::nor2},   {"XOR", GateType::xor2},   {"XNOR", GateType::xnor2},
+        {"NOT", GateType::inv},    {"BUF", GateType::buf},    {"BUFF", GateType::buf},
+    };
+    std::size_t remaining = defs.size();
+    bool progress = true;
+    std::vector<bool> done(defs.size(), false);
+    while (remaining > 0 && progress)
+    {
+        progress = false;
+        for (std::size_t i = 0; i < defs.size(); ++i)
+        {
+            if (done[i])
+            {
+                continue;
+            }
+            const auto& def = defs[i];
+            const bool ready = std::all_of(def.args.begin(), def.args.end(), [&](const auto& a) {
+                return signals.count(a) != 0;
+            });
+            if (!ready)
+            {
+                continue;
+            }
+            const auto it = ops.find(def.op);
+            if (it == ops.end())
+            {
+                throw std::runtime_error{"bench: unsupported gate '" + def.op + "'"};
+            }
+            const unsigned arity = gate_arity(it->second);
+            std::vector<NodeId> fanins;
+            for (const auto& a : def.args)
+            {
+                fanins.push_back(signals.at(a));
+            }
+            // n-ary gates are decomposed into binary trees
+            NodeId out;
+            if (arity == 1)
+            {
+                if (fanins.size() != 1)
+                {
+                    throw std::runtime_error{"bench: wrong arity for " + def.op};
+                }
+                out = net.create_gate(it->second, {fanins[0]});
+            }
+            else
+            {
+                if (fanins.size() < 2)
+                {
+                    throw std::runtime_error{"bench: wrong arity for " + def.op};
+                }
+                // decompose n-ary gates: apply the base op pairwise, with the
+                // inversion (if any) only at the end
+                const bool inverted =
+                    it->second == GateType::nand2 || it->second == GateType::nor2;
+                const GateType base = it->second == GateType::nand2  ? GateType::and2
+                                      : it->second == GateType::nor2 ? GateType::or2
+                                                                     : it->second;
+                out = fanins[0];
+                for (std::size_t k = 1; k < fanins.size(); ++k)
+                {
+                    out = net.create_gate(base, {out, fanins[k]});
+                }
+                if (inverted)
+                {
+                    out = net.create_not(out);
+                }
+            }
+            signals[def.lhs] = out;
+            done[i] = true;
+            --remaining;
+            progress = true;
+        }
+    }
+    if (remaining > 0)
+    {
+        throw std::runtime_error{"bench: unresolved signals (cycle or missing definition)"};
+    }
+
+    for (const auto& name : outputs)
+    {
+        const auto it = signals.find(name);
+        if (it == signals.end())
+        {
+            throw std::runtime_error{"bench: undefined output '" + name + "'"};
+        }
+        net.create_po(it->second, name);
+    }
+    return net;
+}
+
+logic::LogicNetwork read_bench_string(const std::string& text)
+{
+    std::istringstream in{text};
+    return read_bench(in);
+}
+
+}  // namespace bestagon::io

@@ -1,0 +1,26 @@
+/// \file bench_reader.hpp
+/// \brief Reader for the ISCAS BENCH netlist format, the other common
+///        interchange format of FCN benchmark suites:
+///
+///        INPUT(a)
+///        OUTPUT(f)
+///        w = NAND(a, b)
+///        f = NOT(w)
+
+#pragma once
+
+#include "logic/network.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace bestagon::io
+{
+
+/// Parses a BENCH netlist. Supported gates: AND, OR, NAND, NOR, XOR, XNOR,
+/// NOT, BUF(F) with arbitrary comments (#). Throws std::runtime_error on
+/// malformed input.
+[[nodiscard]] logic::LogicNetwork read_bench(std::istream& in);
+[[nodiscard]] logic::LogicNetwork read_bench_string(const std::string& text);
+
+}  // namespace bestagon::io

@@ -1,0 +1,30 @@
+#include "io/dot_writer.hpp"
+
+#include <ostream>
+
+namespace bestagon::io
+{
+
+void write_dot(std::ostream& out, const logic::LogicNetwork& network)
+{
+    out << "digraph network {\n  rankdir=TB;\n";
+    for (const auto id : network.topological_order())
+    {
+        const auto& node = network.node(id);
+        const char* shape = "box";
+        std::string label = logic::gate_type_name(node.type);
+        if (node.type == logic::GateType::pi || node.type == logic::GateType::po)
+        {
+            shape = "ellipse";
+            label += " " + node.name;
+        }
+        out << "  n" << id << " [shape=" << shape << ", label=\"" << label << "\"];\n";
+        for (unsigned i = 0; i < gate_arity(node.type); ++i)
+        {
+            out << "  n" << node.fanin[i] << " -> n" << id << ";\n";
+        }
+    }
+    out << "}\n";
+}
+
+}  // namespace bestagon::io

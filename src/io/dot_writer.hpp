@@ -1,0 +1,16 @@
+/// \file dot_writer.hpp
+/// \brief Graphviz DOT export of logic networks for inspection/debugging.
+
+#pragma once
+
+#include "logic/network.hpp"
+
+#include <iosfwd>
+
+namespace bestagon::io
+{
+
+/// Writes a network in Graphviz DOT format.
+void write_dot(std::ostream& out, const logic::LogicNetwork& network);
+
+}  // namespace bestagon::io

@@ -1,0 +1,78 @@
+#include "io/render.hpp"
+
+#include <sstream>
+
+namespace bestagon::io
+{
+
+namespace
+{
+
+using layout::GateLevelLayout;
+using layout::HexCoord;
+using logic::GateType;
+
+std::string cell_text(const GateLevelLayout& layout, HexCoord t)
+{
+    const auto& occs = layout.occupants(t);
+    if (occs.empty())
+    {
+        return "        ";
+    }
+    std::string label;
+    if (occs.size() == 2)
+    {
+        label = "x       ";  // crossing / parallel wires
+        label[1] = '/';
+    }
+    else
+    {
+        const auto& occ = occs.front();
+        switch (occ.type)
+        {
+            case GateType::pi: label = "PI " + occ.label; break;
+            case GateType::po: label = "PO " + occ.label; break;
+            case GateType::buf: label = occ.out_a == occ.in_a ? "|" : "wire"; break;
+            default: label = logic::gate_type_name(occ.type);
+        }
+    }
+    label = "[" + label;
+    label.resize(7, ' ');
+    label += "]";
+    return label;
+}
+
+}  // namespace
+
+std::string render_layout(const GateLevelLayout& layout)
+{
+    std::ostringstream out;
+    out << layout.width() << " x " << layout.height() << " hexagonal layout ("
+        << layout::clocking_scheme_name(layout.scheme()) << " clocking)\n";
+    for (unsigned y = 0; y < layout.height(); ++y)
+    {
+        if ((y & 1) != 0)
+        {
+            out << "    ";  // odd rows shifted right by half a tile
+        }
+        for (unsigned x = 0; x < layout.width(); ++x)
+        {
+            out << cell_text(layout, HexCoord{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)});
+        }
+        out << "   (clock " << layout.zone(HexCoord{0, static_cast<std::int32_t>(y)}) << ")\n";
+    }
+    return out.str();
+}
+
+std::string render_charges(const std::vector<phys::SiDBSite>& sites, const phys::ChargeConfig& config)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < sites.size(); ++i)
+    {
+        out << "(" << sites[i].n << "," << sites[i].m << "," << sites[i].l << ") "
+            << (config[i] != 0 ? "DB-" : "DB0") << "\n";
+    }
+    return out.str();
+}
+
+}  // namespace bestagon::io

@@ -1,0 +1,28 @@
+/// \file render.hpp
+/// \brief ASCII rendering of gate-level layouts (hexagonal, clock-annotated)
+///        and of charge configurations — the textual companion to Fig. 6.
+
+#pragma once
+
+#include "layout/gate_level_layout.hpp"
+#include "phys/model.hpp"
+
+#include <string>
+#include <vector>
+
+namespace bestagon::io
+{
+
+/// Renders a hexagonal gate-level layout as offset ASCII rows, e.g.
+/// ```
+///  [PI a ]  [PI b ]
+///     [XOR/1 ]
+///  [PO f ]
+/// ```
+[[nodiscard]] std::string render_layout(const layout::GateLevelLayout& layout);
+
+/// Renders a charge configuration as site list with charges.
+[[nodiscard]] std::string render_charges(const std::vector<phys::SiDBSite>& sites,
+                                         const phys::ChargeConfig& config);
+
+}  // namespace bestagon::io

@@ -1,0 +1,65 @@
+#include "io/sqd_writer.hpp"
+
+#include <ostream>
+
+namespace bestagon::io
+{
+
+namespace
+{
+
+void write_header(std::ostream& out, const std::string& name)
+{
+    out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+        << "<siqad>\n"
+        << "  <program>\n"
+        << "    <file_purpose>save</file_purpose>\n"
+        << "    <name>" << name << "</name>\n"
+        << "    <version>0.3.3</version>\n"
+        << "  </program>\n"
+        << "  <layers>\n"
+        << "    <layer_prop><name>Lattice</name><type>Lattice</type></layer_prop>\n"
+        << "    <layer_prop><name>DB</name><type>DB</type></layer_prop>\n"
+        << "  </layers>\n"
+        << "  <design>\n"
+        << "    <layer type=\"DB\">\n";
+}
+
+void write_db(std::ostream& out, const phys::SiDBSite& s)
+{
+    out << "      <dbdot>\n"
+        << "        <layer_id>1</layer_id>\n"
+        << "        <latcoord n=\"" << s.n << "\" m=\"" << s.m << "\" l=\"" << s.l << "\"/>\n"
+        << "      </dbdot>\n";
+}
+
+void write_footer(std::ostream& out)
+{
+    out << "    </layer>\n"
+        << "  </design>\n"
+        << "</siqad>\n";
+}
+
+}  // namespace
+
+void write_sqd(std::ostream& out, const layout::SiDBLayout& layout, const std::string& name)
+{
+    write_header(out, name);
+    for (const auto& s : layout.sites)
+    {
+        write_db(out, s);
+    }
+    write_footer(out);
+}
+
+void write_sqd(std::ostream& out, const phys::GateDesign& design)
+{
+    write_header(out, design.name);
+    for (const auto& s : design.instance_sites(0))
+    {
+        write_db(out, s);
+    }
+    write_footer(out);
+}
+
+}  // namespace bestagon::io

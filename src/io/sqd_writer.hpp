@@ -1,0 +1,23 @@
+/// \file sqd_writer.hpp
+/// \brief SiQAD design-file (.sqd XML) writer (flow step 8) so that layouts
+///        can be opened and simulated in SiQAD [30].
+
+#pragma once
+
+#include "layout/sidb_layout.hpp"
+#include "phys/operational.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace bestagon::io
+{
+
+/// Writes a dot-accurate layout in SiQAD's .sqd XML format.
+void write_sqd(std::ostream& out, const layout::SiDBLayout& layout,
+               const std::string& name = "bestagon_layout");
+
+/// Writes a standalone gate design (including drivers for pattern 0).
+void write_sqd(std::ostream& out, const phys::GateDesign& design);
+
+}  // namespace bestagon::io

@@ -1,0 +1,93 @@
+#include "io/svg_writer.hpp"
+
+#include <ostream>
+
+namespace bestagon::io
+{
+
+namespace
+{
+
+constexpr double hex_size = 40.0;  // px
+
+/// Pixel center of a tile (pointy-top hexagons, odd-r offset).
+std::pair<double, double> center_px(layout::HexCoord c)
+{
+    const double w = 1.7320508 * hex_size;  // sqrt(3) * size
+    const double x = w * (c.x + 0.5 * (c.y & 1)) + w;
+    const double y = 1.5 * hex_size * c.y + 2 * hex_size;
+    return {x, y};
+}
+
+const char* zone_color(unsigned zone)
+{
+    switch (zone % 4)
+    {
+        case 0: return "#dbeafe";
+        case 1: return "#bfdbfe";
+        case 2: return "#93c5fd";
+        default: return "#60a5fa";
+    }
+}
+
+}  // namespace
+
+void write_svg(std::ostream& out, const layout::GateLevelLayout& layout)
+{
+    const double w = 1.7320508 * hex_size * (layout.width() + 2);
+    const double h = 1.5 * hex_size * (layout.height() + 2);
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w << "\" height=\"" << h << "\">\n";
+    for (const auto& t : layout.all_tiles())
+    {
+        const auto [cx, cy] = center_px(t);
+        out << "  <polygon points=\"";
+        for (int corner = 0; corner < 6; ++corner)
+        {
+            const double angle = 3.14159265 / 180.0 * (60.0 * corner - 30.0);
+            out << cx + hex_size * std::cos(angle) << "," << cy + hex_size * std::sin(angle) << " ";
+        }
+        out << "\" fill=\"" << zone_color(layout.zone(t))
+            << "\" stroke=\"#1e3a8a\" stroke-width=\"1\"/>\n";
+        const auto& occs = layout.occupants(t);
+        if (!occs.empty())
+        {
+            std::string label;
+            if (occs.size() == 2)
+            {
+                label = "X";
+            }
+            else
+            {
+                switch (occs.front().type)
+                {
+                    case logic::GateType::pi: label = "PI " + occs.front().label; break;
+                    case logic::GateType::po: label = "PO " + occs.front().label; break;
+                    case logic::GateType::buf: label = "~"; break;
+                    default: label = logic::gate_type_name(occs.front().type);
+                }
+            }
+            out << "  <text x=\"" << cx << "\" y=\"" << cy + 4
+                << "\" text-anchor=\"middle\" font-size=\"12\" font-family=\"monospace\">" << label
+                << "</text>\n";
+        }
+    }
+    out << "</svg>\n";
+}
+
+void write_svg(std::ostream& out, const layout::SiDBLayout& layout)
+{
+    const auto [x0, y0, x1, y1] = layout.bounding_box_nm();
+    const double scale = 12.0;  // px per nm
+    const double margin = 10.0;
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << (x1 - x0) * scale + 2 * margin
+        << "\" height=\"" << (y1 - y0) * scale + 2 * margin << "\">\n";
+    for (const auto& s : layout.sites)
+    {
+        out << "  <circle cx=\"" << (s.x() - x0) * scale + margin << "\" cy=\""
+            << (s.y() - y0) * scale + margin
+            << "\" r=\"3\" fill=\"#0d9488\" stroke=\"#134e4a\" stroke-width=\"0.5\"/>\n";
+    }
+    out << "</svg>\n";
+}
+
+}  // namespace bestagon::io

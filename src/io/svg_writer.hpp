@@ -1,0 +1,22 @@
+/// \file svg_writer.hpp
+/// \brief SVG export of hexagonal gate-level layouts and dot-accurate SiDB
+///        layouts (the graphical companion to the paper's Fig. 6).
+
+#pragma once
+
+#include "layout/gate_level_layout.hpp"
+#include "layout/sidb_layout.hpp"
+
+#include <iosfwd>
+
+namespace bestagon::io
+{
+
+/// Writes the tile-level view: hexagons colored by clock zone, labeled by
+/// gate function, with port connections drawn.
+void write_svg(std::ostream& out, const layout::GateLevelLayout& layout);
+
+/// Writes the dot-accurate view: one circle per SiDB.
+void write_svg(std::ostream& out, const layout::SiDBLayout& layout);
+
+}  // namespace bestagon::io

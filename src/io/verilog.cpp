@@ -1,0 +1,491 @@
+#include "io/verilog.hpp"
+
+#include <cctype>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bestagon::io
+{
+
+namespace
+{
+
+using logic::GateType;
+using logic::LogicNetwork;
+using NodeId = LogicNetwork::NodeId;
+
+struct Token
+{
+    enum class Kind
+    {
+        identifier,
+        symbol,
+        end
+    };
+    Kind kind{Kind::end};
+    std::string text;
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(std::string text) : text_{std::move(text)} {}
+
+    Token next()
+    {
+        skip_ws_and_comments();
+        if (pos_ >= text_.size())
+        {
+            return {Token::Kind::end, ""};
+        }
+        const char c = text_[pos_];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '\\')
+        {
+            std::string id;
+            if (c == '\\')
+            {
+                // escaped identifier: up to whitespace
+                ++pos_;
+                while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])))
+                {
+                    id.push_back(text_[pos_++]);
+                }
+            }
+            else
+            {
+                while (pos_ < text_.size() &&
+                       (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_' ||
+                        text_[pos_] == '$'))
+                {
+                    id.push_back(text_[pos_++]);
+                }
+            }
+            return {Token::Kind::identifier, id};
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)))
+        {
+            std::string num;
+            while (pos_ < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '\''))
+            {
+                num.push_back(text_[pos_++]);
+            }
+            return {Token::Kind::identifier, num};
+        }
+        ++pos_;
+        return {Token::Kind::symbol, std::string(1, c)};
+    }
+
+  private:
+    void skip_ws_and_comments()
+    {
+        for (;;)
+        {
+            while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+            {
+                ++pos_;
+            }
+            if (pos_ + 1 < text_.size() && text_[pos_] == '/' && text_[pos_ + 1] == '/')
+            {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                {
+                    ++pos_;
+                }
+                continue;
+            }
+            if (pos_ + 1 < text_.size() && text_[pos_] == '/' && text_[pos_ + 1] == '*')
+            {
+                pos_ += 2;
+                while (pos_ + 1 < text_.size() && !(text_[pos_] == '*' && text_[pos_ + 1] == '/'))
+                {
+                    ++pos_;
+                }
+                pos_ += 2;
+                continue;
+            }
+            break;
+        }
+    }
+
+    std::string text_;
+    std::size_t pos_{0};
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::string text) : lexer_{std::move(text)} { advance(); }
+
+    LogicNetwork parse()
+    {
+        expect_identifier("module");
+        advance();  // module name
+        if (current_.text == "(")
+        {
+            while (current_.text != ")" && current_.kind != Token::Kind::end)
+            {
+                advance();
+            }
+            consume(")");
+        }
+        consume(";");
+
+        while (current_.kind != Token::Kind::end && current_.text != "endmodule")
+        {
+            parse_statement();
+        }
+        // connect outputs
+        for (const auto& name : output_order_)
+        {
+            net_.create_po(resolve(name), name);
+        }
+        return std::move(net_);
+    }
+
+  private:
+    void advance() { current_ = lexer_.next(); }
+
+    void consume(const std::string& sym)
+    {
+        if (current_.text != sym)
+        {
+            throw std::runtime_error{"verilog: expected '" + sym + "', got '" + current_.text + "'"};
+        }
+        advance();
+    }
+
+    void expect_identifier(const std::string& id)
+    {
+        if (current_.text != id)
+        {
+            throw std::runtime_error{"verilog: expected '" + id + "', got '" + current_.text + "'"};
+        }
+        advance();
+    }
+
+    void parse_statement()
+    {
+        const std::string keyword = current_.text;
+        if (keyword == "input" || keyword == "output" || keyword == "wire")
+        {
+            advance();
+            for (;;)
+            {
+                const std::string name = current_.text;
+                advance();
+                if (keyword == "input")
+                {
+                    signals_[name] = net_.create_pi(name);
+                }
+                else if (keyword == "output")
+                {
+                    output_order_.push_back(name);
+                }
+                if (current_.text == ",")
+                {
+                    advance();
+                    continue;
+                }
+                break;
+            }
+            consume(";");
+            return;
+        }
+        if (keyword == "assign")
+        {
+            advance();
+            const std::string lhs = current_.text;
+            advance();
+            consume("=");
+            const auto rhs = parse_expression();
+            define(lhs, rhs);
+            consume(";");
+            return;
+        }
+        // primitive gate instantiation: type [name] (out, in...);
+        static const std::map<std::string, GateType> primitives = {
+            {"and", GateType::and2},   {"or", GateType::or2},     {"nand", GateType::nand2},
+            {"nor", GateType::nor2},   {"xor", GateType::xor2},   {"xnor", GateType::xnor2},
+            {"not", GateType::inv},    {"buf", GateType::buf},    {"maj", GateType::maj3},
+        };
+        const auto it = primitives.find(keyword);
+        if (it == primitives.end())
+        {
+            throw std::runtime_error{"verilog: unsupported statement '" + keyword + "'"};
+        }
+        advance();
+        if (current_.text != "(")
+        {
+            advance();  // optional instance name
+        }
+        consume("(");
+        std::vector<std::string> args;
+        for (;;)
+        {
+            args.push_back(current_.text);
+            advance();
+            if (current_.text == ",")
+            {
+                advance();
+                continue;
+            }
+            break;
+        }
+        consume(")");
+        consume(";");
+        if (args.size() != 1 + gate_arity(it->second))
+        {
+            throw std::runtime_error{"verilog: wrong arity for gate '" + keyword + "'"};
+        }
+        std::vector<NodeId> fanins;
+        for (std::size_t i = 1; i < args.size(); ++i)
+        {
+            fanins.push_back(resolve(args[i]));
+        }
+        define(args[0], net_.create_gate(it->second, fanins));
+    }
+
+    // expression grammar: or_expr := xor_expr ('|' xor_expr)*;
+    // xor_expr := and_expr ('^' and_expr)*; and_expr := unary ('&' unary)*;
+    // unary := '~' unary | '(' or_expr ')' | literal | identifier
+    NodeId parse_expression() { return parse_or(); }
+
+    NodeId parse_or()
+    {
+        auto lhs = parse_xor();
+        while (current_.text == "|")
+        {
+            advance();
+            lhs = net_.create_or(lhs, parse_xor());
+        }
+        return lhs;
+    }
+
+    NodeId parse_xor()
+    {
+        auto lhs = parse_and();
+        while (current_.text == "^")
+        {
+            advance();
+            lhs = net_.create_xor(lhs, parse_and());
+        }
+        return lhs;
+    }
+
+    NodeId parse_and()
+    {
+        auto lhs = parse_unary();
+        while (current_.text == "&")
+        {
+            advance();
+            lhs = net_.create_and(lhs, parse_unary());
+        }
+        return lhs;
+    }
+
+    NodeId parse_unary()
+    {
+        if (current_.text == "~")
+        {
+            advance();
+            return net_.create_not(parse_unary());
+        }
+        if (current_.text == "(")
+        {
+            advance();
+            const auto inner = parse_or();
+            consume(")");
+            return inner;
+        }
+        if (current_.text == "1'b0" || current_.text == "0")
+        {
+            advance();
+            return net_.create_const(false);
+        }
+        if (current_.text == "1'b1" || current_.text == "1")
+        {
+            advance();
+            return net_.create_const(true);
+        }
+        const std::string name = current_.text;
+        advance();
+        return resolve(name);
+    }
+
+    NodeId resolve(const std::string& name)
+    {
+        const auto it = signals_.find(name);
+        if (it == signals_.end())
+        {
+            throw std::runtime_error{"verilog: use of undefined signal '" + name + "'"};
+        }
+        return it->second;
+    }
+
+    void define(const std::string& name, NodeId id)
+    {
+        if (signals_.count(name) != 0)
+        {
+            throw std::runtime_error{"verilog: signal '" + name + "' defined twice"};
+        }
+        signals_[name] = id;
+    }
+
+    Lexer lexer_;
+    Token current_;
+    LogicNetwork net_;
+    std::map<std::string, NodeId> signals_;
+    std::vector<std::string> output_order_;
+};
+
+}  // namespace
+
+logic::LogicNetwork read_verilog(std::istream& in)
+{
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return read_verilog_string(buffer.str());
+}
+
+logic::LogicNetwork read_verilog_string(const std::string& text)
+{
+    Parser parser{text};
+    return parser.parse();
+}
+
+namespace
+{
+
+/// Verilog identifiers must start with a letter or underscore; benchmark
+/// names like ISCAS's "1"/"22" are prefixed to stay legal.
+std::string sanitize_identifier(const std::string& name)
+{
+    if (name.empty())
+    {
+        return name;
+    }
+    std::string out = name;
+    for (auto& c : out)
+    {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'))
+        {
+            c = '_';
+        }
+    }
+    if (!(std::isalpha(static_cast<unsigned char>(out.front())) || out.front() == '_'))
+    {
+        out = "n" + out;
+    }
+    return out;
+}
+
+}  // namespace
+
+void write_verilog(std::ostream& out, const logic::LogicNetwork& network, const std::string& module_name)
+{
+    std::map<NodeId, std::string> names;
+    std::vector<std::string> inputs, outputs;
+    unsigned anon = 0;
+    for (const auto pi : network.pis())
+    {
+        const auto& n = network.node(pi);
+        const std::string name =
+            n.name.empty() ? ("pi" + std::to_string(anon++)) : sanitize_identifier(n.name);
+        names[pi] = name;
+        inputs.push_back(name);
+    }
+    unsigned po_index = 0;
+    for (const auto po : network.pos())
+    {
+        const auto& n = network.node(po);
+        const std::string name =
+            n.name.empty() ? ("po" + std::to_string(po_index)) : sanitize_identifier(n.name);
+        outputs.push_back(name);
+        ++po_index;
+    }
+
+    out << "module " << module_name << "(";
+    bool first = true;
+    for (const auto& n : inputs)
+    {
+        out << (first ? "" : ", ") << n;
+        first = false;
+    }
+    for (const auto& n : outputs)
+    {
+        out << (first ? "" : ", ") << n;
+        first = false;
+    }
+    out << ");\n";
+    for (const auto& n : inputs)
+    {
+        out << "  input " << n << ";\n";
+    }
+    for (const auto& n : outputs)
+    {
+        out << "  output " << n << ";\n";
+    }
+
+    std::ostringstream body;
+    unsigned wires = 0;
+    std::vector<std::string> wire_decls;
+    for (const auto id : network.topological_order())
+    {
+        const auto& node = network.node(id);
+        switch (node.type)
+        {
+            case GateType::pi:
+            case GateType::po:
+            case GateType::none: continue;
+            case GateType::const0: names[id] = "1'b0"; continue;
+            case GateType::const1: names[id] = "1'b1"; continue;
+            default: break;
+        }
+        const std::string name = "w" + std::to_string(wires++);
+        names[id] = name;
+        wire_decls.push_back(name);
+        const auto a = names.at(node.fanin[0]);
+        switch (node.type)
+        {
+            case GateType::buf:
+            case GateType::fanout: body << "  assign " << name << " = " << a << ";\n"; break;
+            case GateType::inv: body << "  assign " << name << " = ~" << a << ";\n"; break;
+            case GateType::and2: body << "  assign " << name << " = " << a << " & " << names.at(node.fanin[1]) << ";\n"; break;
+            case GateType::or2: body << "  assign " << name << " = " << a << " | " << names.at(node.fanin[1]) << ";\n"; break;
+            case GateType::nand2: body << "  assign " << name << " = ~(" << a << " & " << names.at(node.fanin[1]) << ");\n"; break;
+            case GateType::nor2: body << "  assign " << name << " = ~(" << a << " | " << names.at(node.fanin[1]) << ");\n"; break;
+            case GateType::xor2: body << "  assign " << name << " = " << a << " ^ " << names.at(node.fanin[1]) << ";\n"; break;
+            case GateType::xnor2: body << "  assign " << name << " = ~(" << a << " ^ " << names.at(node.fanin[1]) << ");\n"; break;
+            case GateType::maj3:
+                body << "  assign " << name << " = (" << a << " & " << names.at(node.fanin[1]) << ") | ("
+                     << a << " & " << names.at(node.fanin[2]) << ") | (" << names.at(node.fanin[1])
+                     << " & " << names.at(node.fanin[2]) << ");\n";
+                break;
+            default: break;
+        }
+    }
+    for (const auto& w : wire_decls)
+    {
+        out << "  wire " << w << ";\n";
+    }
+    out << body.str();
+    unsigned po_i = 0;
+    for (const auto po : network.pos())
+    {
+        out << "  assign " << outputs[po_i++] << " = " << names.at(network.node(po).fanin[0]) << ";\n";
+    }
+    out << "endmodule\n";
+}
+
+std::string to_verilog_string(const logic::LogicNetwork& network, const std::string& module_name)
+{
+    std::ostringstream out;
+    write_verilog(out, network, module_name);
+    return out.str();
+}
+
+}  // namespace bestagon::io

@@ -1,0 +1,31 @@
+/// \file verilog.hpp
+/// \brief Gate-level Verilog reading and writing (flow step 1).
+///
+/// The reader supports the structural subset used by FCN benchmark suites:
+/// one module with `input`/`output`/`wire` declarations, continuous
+/// `assign` statements over ~, &, |, ^ and parentheses, and primitive gate
+/// instantiations (and/or/nand/nor/xor/xnor/not/buf with output-first
+/// argument order).
+
+#pragma once
+
+#include "logic/network.hpp"
+
+#include <iosfwd>
+#include <string>
+
+namespace bestagon::io
+{
+
+/// Parses a Verilog module into a logic network.
+/// Throws std::runtime_error with a diagnostic on malformed input.
+[[nodiscard]] logic::LogicNetwork read_verilog(std::istream& in);
+[[nodiscard]] logic::LogicNetwork read_verilog_string(const std::string& text);
+
+/// Writes a network as a structural Verilog module.
+void write_verilog(std::ostream& out, const logic::LogicNetwork& network,
+                   const std::string& module_name = "top");
+[[nodiscard]] std::string to_verilog_string(const logic::LogicNetwork& network,
+                                            const std::string& module_name = "top");
+
+}  // namespace bestagon::io

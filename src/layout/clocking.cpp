@@ -1,0 +1,53 @@
+#include "layout/clocking.hpp"
+
+namespace bestagon::layout
+{
+
+const char* clocking_scheme_name(ClockingScheme s) noexcept
+{
+    switch (s)
+    {
+        case ClockingScheme::row_columnar: return "RowColumnar";
+        case ClockingScheme::columnar: return "Columnar";
+        case ClockingScheme::two_d_d_wave: return "2DDWave";
+        case ClockingScheme::use: return "USE";
+    }
+    return "?";
+}
+
+unsigned clock_zone(ClockingScheme s, HexCoord c) noexcept
+{
+    const auto mod4 = [](std::int32_t v) { return static_cast<unsigned>(((v % 4) + 4) % 4); };
+    switch (s)
+    {
+        case ClockingScheme::row_columnar: return mod4(c.y);
+        case ClockingScheme::columnar: return mod4(c.x);
+        case ClockingScheme::two_d_d_wave: return mod4(c.x + c.y);
+        case ClockingScheme::use:
+        {
+            // USE 4x4 pattern [9]
+            static constexpr unsigned pattern[4][4] = {
+                {0, 1, 2, 3},
+                {3, 2, 1, 0},
+                {2, 3, 0, 1},
+                {1, 0, 3, 2},
+            };
+            return pattern[mod4(c.y)][mod4(c.x)];
+        }
+    }
+    return 0;
+}
+
+bool feeds_next_phase(ClockingScheme s, HexCoord from, HexCoord to) noexcept
+{
+    const unsigned zf = clock_zone(s, from);
+    const unsigned zt = clock_zone(s, to);
+    return zt == (zf + 1) % num_clock_phases;
+}
+
+bool is_feed_forward(ClockingScheme s) noexcept
+{
+    return s == ClockingScheme::row_columnar;
+}
+
+}  // namespace bestagon::layout

@@ -1,0 +1,46 @@
+/// \file clocking.hpp
+/// \brief Tileable clocking floor plans for FCN layouts.
+///
+/// Clocking stabilizes signals and directs information flow (paper Fig. 2).
+/// The paper's physical design relies on linear feed-forward schemes —
+/// *Columnar* [26] rotated by 90 degrees into a row-based configuration
+/// (tile (x, y) is driven by clock zone y mod 4) and *2DDWave* [44]. The
+/// *USE* scheme [9] is provided for completeness/comparison; it is not
+/// feed-forward and therefore not compatible with super-tile merging.
+
+#pragma once
+
+#include "layout/coordinates.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace bestagon::layout
+{
+
+/// Number of clock phases used throughout (four-phase clocking).
+inline constexpr unsigned num_clock_phases = 4;
+
+enum class ClockingScheme : std::uint8_t
+{
+    row_columnar,  ///< Columnar rotated by 90°: zone = y mod 4 (paper default)
+    columnar,      ///< zone = x mod 4
+    two_d_d_wave,  ///< 2DDWave: zone = (x + y) mod 4
+    use            ///< USE 4x4 tile pattern
+};
+
+[[nodiscard]] const char* clocking_scheme_name(ClockingScheme s) noexcept;
+
+/// Clock zone of tile \p c under scheme \p s.
+[[nodiscard]] unsigned clock_zone(ClockingScheme s, HexCoord c) noexcept;
+
+/// True if information may flow from \p from to \p to under scheme \p s,
+/// i.e. the target zone is the successor phase of the source zone (or the
+/// same zone, which only super-tile-expanded layouts use).
+[[nodiscard]] bool feeds_next_phase(ClockingScheme s, HexCoord from, HexCoord to) noexcept;
+
+/// True if the scheme is linear/feed-forward on the hexagonal floor plan
+/// (every downward neighbor is in the successor phase).
+[[nodiscard]] bool is_feed_forward(ClockingScheme s) noexcept;
+
+}  // namespace bestagon::layout

@@ -1,0 +1,139 @@
+/// \file coordinates.hpp
+/// \brief Hexagonal tile coordinates for the Bestagon floor plan.
+///
+/// The floor plan uses pointy-top hexagons in odd-row-shifted offset
+/// coordinates ("odd-r" in Red Blob Games terminology): tile (x, y) of an odd
+/// row y is shifted right by half a tile width. Information flows strictly
+/// downward: a tile receives from its NW/NE neighbors and feeds its SW/SE
+/// neighbors, which is what accommodates the Y-shaped SiDB gates (paper
+/// Fig. 3b). Cube/axial conversions are provided for distance computations.
+
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+
+namespace bestagon::layout
+{
+
+/// The four hexagonal ports used by the feed-forward floor plan.
+enum class Port : std::uint8_t
+{
+    nw,  ///< input from the north-west neighbor
+    ne,  ///< input from the north-east neighbor
+    sw,  ///< output to the south-west neighbor
+    se   ///< output to the south-east neighbor
+};
+
+[[nodiscard]] constexpr const char* port_name(Port p) noexcept
+{
+    switch (p)
+    {
+        case Port::nw: return "NW";
+        case Port::ne: return "NE";
+        case Port::sw: return "SW";
+        case Port::se: return "SE";
+    }
+    return "?";
+}
+
+/// Offset coordinate of a hexagonal tile (odd rows shifted right).
+struct HexCoord
+{
+    std::int32_t x{0};
+    std::int32_t y{0};
+
+    constexpr auto operator<=>(const HexCoord&) const = default;
+};
+
+/// Cube coordinate (q + r + s == 0), for distances.
+struct CubeCoord
+{
+    std::int32_t q{0};
+    std::int32_t r{0};
+    std::int32_t s{0};
+};
+
+[[nodiscard]] constexpr CubeCoord to_cube(HexCoord c) noexcept
+{
+    const std::int32_t q = c.x - (c.y - (c.y & 1)) / 2;
+    const std::int32_t r = c.y;
+    return CubeCoord{q, r, -q - r};
+}
+
+[[nodiscard]] constexpr HexCoord to_offset(CubeCoord c) noexcept
+{
+    return HexCoord{c.q + (c.r - (c.r & 1)) / 2, c.r};
+}
+
+/// Hexagonal (cube) distance between two tiles.
+[[nodiscard]] constexpr std::int32_t hex_distance(HexCoord a, HexCoord b) noexcept
+{
+    const auto ca = to_cube(a);
+    const auto cb = to_cube(b);
+    const auto dq = std::abs(ca.q - cb.q);
+    const auto dr = std::abs(ca.r - cb.r);
+    const auto ds = std::abs(ca.s - cb.s);
+    return (dq + dr + ds) / 2;
+}
+
+/// The neighbor reached through \p port. NW/NE point to row y-1, SW/SE to
+/// row y+1; the x offset depends on row parity (odd-r layout).
+[[nodiscard]] constexpr HexCoord neighbor(HexCoord c, Port port) noexcept
+{
+    const bool odd = (c.y & 1) != 0;
+    switch (port)
+    {
+        case Port::nw: return HexCoord{odd ? c.x : c.x - 1, c.y - 1};
+        case Port::ne: return HexCoord{odd ? c.x + 1 : c.x, c.y - 1};
+        case Port::sw: return HexCoord{odd ? c.x : c.x - 1, c.y + 1};
+        case Port::se: return HexCoord{odd ? c.x + 1 : c.x, c.y + 1};
+    }
+    return c;
+}
+
+/// The port of \p to through which a signal from \p from enters, if the two
+/// tiles are vertically adjacent (from above to below).
+[[nodiscard]] constexpr std::optional<Port> entry_port(HexCoord from, HexCoord to) noexcept
+{
+    if (neighbor(to, Port::nw) == from)
+    {
+        return Port::nw;
+    }
+    if (neighbor(to, Port::ne) == from)
+    {
+        return Port::ne;
+    }
+    return std::nullopt;
+}
+
+/// The output port of \p from through which it feeds \p to, if adjacent.
+[[nodiscard]] constexpr std::optional<Port> exit_port(HexCoord from, HexCoord to) noexcept
+{
+    if (neighbor(from, Port::sw) == to)
+    {
+        return Port::sw;
+    }
+    if (neighbor(from, Port::se) == to)
+    {
+        return Port::se;
+    }
+    return std::nullopt;
+}
+
+/// The two downward neighbors of a tile.
+[[nodiscard]] constexpr std::array<HexCoord, 2> down_neighbors(HexCoord c) noexcept
+{
+    return {neighbor(c, Port::sw), neighbor(c, Port::se)};
+}
+
+/// The two upward neighbors of a tile.
+[[nodiscard]] constexpr std::array<HexCoord, 2> up_neighbors(HexCoord c) noexcept
+{
+    return {neighbor(c, Port::nw), neighbor(c, Port::ne)};
+}
+
+}  // namespace bestagon::layout

@@ -1,0 +1,42 @@
+/// \file equivalence_checking.hpp
+/// \brief SAT-based formal equivalence checking (flow step 5, after [50]).
+///
+/// A miter is built over shared primary inputs: corresponding primary
+/// outputs are XORed and the solver searches for an assignment that sets any
+/// XOR to 1. UNSAT proves the layout implements its specification.
+
+#pragma once
+
+#include "layout/gate_level_layout.hpp"
+#include "logic/network.hpp"
+
+#include <cstdint>
+
+namespace bestagon::layout
+{
+
+enum class EquivalenceResult : std::uint8_t
+{
+    equivalent,
+    not_equivalent,
+    unknown  ///< resource limit reached
+};
+
+struct EquivalenceStats
+{
+    std::uint64_t conflicts{0};
+    std::uint64_t counterexample{0};  ///< PI assignment if not equivalent
+};
+
+/// Checks two networks for functional equivalence via a SAT miter.
+[[nodiscard]] EquivalenceResult check_equivalence(const logic::LogicNetwork& spec,
+                                                  const logic::LogicNetwork& impl,
+                                                  EquivalenceStats* stats = nullptr);
+
+/// Convenience: extracts the layout's network and miters it against the
+/// specification it was synthesized from.
+[[nodiscard]] EquivalenceResult check_layout_equivalence(const logic::LogicNetwork& spec,
+                                                         const GateLevelLayout& layout,
+                                                         EquivalenceStats* stats = nullptr);
+
+}  // namespace bestagon::layout

@@ -1,0 +1,582 @@
+#include "layout/exact_physical_design.hpp"
+
+#include "sat/encodings.hpp"
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace bestagon::layout
+{
+
+namespace
+{
+
+using logic::GateType;
+using logic::LogicNetwork;
+using sat::Lit;
+using NodeId = LogicNetwork::NodeId;
+
+[[nodiscard]] std::int64_t now_ms()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(steady_clock::now().time_since_epoch()).count();
+}
+
+struct Edge
+{
+    NodeId source;
+    NodeId target;
+};
+
+/// Longest path from any PI, counted in nodes (PIs have level 0).
+std::vector<unsigned> node_levels(const LogicNetwork& network)
+{
+    std::vector<unsigned> level(network.size(), 0);
+    for (const auto id : network.topological_order())
+    {
+        const auto& n = network.node(id);
+        for (unsigned i = 0; i < gate_arity(n.type); ++i)
+        {
+            level[id] = std::max(level[id], level[n.fanin[i]] + 1);
+        }
+    }
+    return level;
+}
+
+/// Longest path to any PO, counted in nodes (POs have 0).
+std::vector<unsigned> node_depths_to_po(const LogicNetwork& network)
+{
+    std::vector<unsigned> depth(network.size(), 0);
+    const auto order = network.topological_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it)
+    {
+        const auto& n = network.node(*it);
+        for (unsigned i = 0; i < gate_arity(n.type); ++i)
+        {
+            depth[n.fanin[i]] = std::max(depth[n.fanin[i]], depth[*it] + 1);
+        }
+    }
+    return depth;
+}
+
+/// Encoder + decoder for one aspect ratio.
+class SizeEncoding
+{
+  public:
+    SizeEncoding(const LogicNetwork& network, unsigned w, unsigned h)
+        : network_{network}, w_{w}, h_{h}, levels_{node_levels(network)},
+          depths_{node_depths_to_po(network)}
+    {
+        build();
+    }
+
+    /// Returns a decoded layout if satisfiable within the budget.
+    std::optional<GateLevelLayout> solve(std::int64_t conflict_budget, std::int64_t time_budget_ms,
+                                         std::uint64_t* conflicts, bool* budget_hit)
+    {
+        if (trivially_unsat_)
+        {
+            return std::nullopt;
+        }
+        solver_.set_conflict_budget(conflict_budget);
+        solver_.set_time_budget_ms(time_budget_ms);
+        const auto result = solver_.solve();
+        if (conflicts != nullptr)
+        {
+            *conflicts += solver_.stats().conflicts;
+        }
+        if (result == sat::Result::unknown && budget_hit != nullptr)
+        {
+            *budget_hit = true;
+        }
+        if (result != sat::Result::satisfiable)
+        {
+            return std::nullopt;
+        }
+        return decode();
+    }
+
+  private:
+    struct Arc
+    {
+        HexCoord from;
+        HexCoord to;
+    };
+
+    [[nodiscard]] bool in_bounds(HexCoord c) const
+    {
+        return c.x >= 0 && c.y >= 0 && c.x < static_cast<std::int32_t>(w_) &&
+               c.y < static_cast<std::int32_t>(h_);
+    }
+
+    [[nodiscard]] std::pair<unsigned, unsigned> row_range(NodeId v) const
+    {
+        const auto type = network_.type_of(v);
+        if (type == GateType::pi)
+        {
+            return {0, 0};
+        }
+        if (type == GateType::po)
+        {
+            return {h_ - 1, h_ - 1};
+        }
+        const unsigned lo = levels_[v];
+        const unsigned hi = h_ - 1 - std::min<unsigned>(h_ - 1, depths_[v]);
+        return {lo, hi};
+    }
+
+    void build()
+    {
+        // collect nodes and edges
+        for (const auto id : network_.topological_order())
+        {
+            const auto type = network_.type_of(id);
+            if (type == GateType::const0 || type == GateType::const1)
+            {
+                throw std::invalid_argument{"exact_physical_design: constant nodes unsupported"};
+            }
+            nodes_.push_back(id);
+            const auto& n = network_.node(id);
+            for (unsigned i = 0; i < gate_arity(type); ++i)
+            {
+                edges_.push_back(Edge{n.fanin[i], id});
+            }
+        }
+
+        // feasibility: node row ranges must be non-empty
+        for (const auto v : nodes_)
+        {
+            const auto [lo, hi] = row_range(v);
+            if (lo > hi)
+            {
+                trivially_unsat_ = true;
+                return;
+            }
+        }
+
+        // placement variables
+        for (const auto v : nodes_)
+        {
+            const auto [lo, hi] = row_range(v);
+            std::vector<Lit> options;
+            for (unsigned y = lo; y <= hi; ++y)
+            {
+                for (unsigned x = 0; x < w_; ++x)
+                {
+                    const HexCoord t{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)};
+                    const auto var = solver_.new_var();
+                    place_[{v, t}] = sat::pos(var);
+                    options.push_back(sat::pos(var));
+                }
+            }
+            sat::add_exactly_one(solver_, options);
+        }
+
+        // at most one node per tile
+        for (unsigned y = 0; y < h_; ++y)
+        {
+            for (unsigned x = 0; x < w_; ++x)
+            {
+                const HexCoord t{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)};
+                std::vector<Lit> here;
+                for (const auto v : nodes_)
+                {
+                    if (const auto it = place_.find({v, t}); it != place_.end())
+                    {
+                        here.push_back(it->second);
+                    }
+                }
+                sat::add_at_most_one(solver_, here);
+            }
+        }
+
+        // routing variables per edge
+        for (std::size_t e = 0; e < edges_.size(); ++e)
+        {
+            const auto [ulo, uhi] = row_range(edges_[e].source);
+            const auto [vlo, vhi] = row_range(edges_[e].target);
+            // wire tiles may exist strictly between the endpoints' row ranges
+            for (unsigned y = ulo + 1; y + 1 <= vhi && y < h_; ++y)
+            {
+                if (y > static_cast<unsigned>(vhi) - 1)
+                {
+                    break;
+                }
+                for (unsigned x = 0; x < w_; ++x)
+                {
+                    const HexCoord t{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)};
+                    wire_[{e, t}] = sat::pos(solver_.new_var());
+                }
+            }
+            // arcs from rows [ulo, vhi-1]
+            for (unsigned y = ulo; y + 1 <= vhi; ++y)
+            {
+                for (unsigned x = 0; x < w_; ++x)
+                {
+                    const HexCoord t{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)};
+                    for (const auto& t2 : down_neighbors(t))
+                    {
+                        if (in_bounds(t2))
+                        {
+                            arc_[{e, t, t2}] = sat::pos(solver_.new_var());
+                        }
+                    }
+                }
+            }
+        }
+
+        // edge structure clauses
+        for (std::size_t e = 0; e < edges_.size(); ++e)
+        {
+            const auto u = edges_[e].source;
+            const auto v = edges_[e].target;
+            for (unsigned y = 0; y < h_; ++y)
+            {
+                for (unsigned x = 0; x < w_; ++x)
+                {
+                    const HexCoord t{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)};
+
+                    std::vector<Lit> outgoing;
+                    for (const auto& t2 : down_neighbors(t))
+                    {
+                        if (const auto it = arc_.find({e, t, t2}); it != arc_.end())
+                        {
+                            outgoing.push_back(it->second);
+                        }
+                    }
+                    std::vector<Lit> incoming;
+                    for (const auto& t0 : up_neighbors(t))
+                    {
+                        if (const auto it = arc_.find({e, t0, t}); it != arc_.end())
+                        {
+                            incoming.push_back(it->second);
+                        }
+                    }
+
+                    // "e at t needing a successor" -> exactly one outgoing arc
+                    if (const auto pu = lit_of_place(u, t); pu.has_value())
+                    {
+                        require_one_of(*pu, outgoing);
+                    }
+                    if (const auto wt = lit_of_wire(e, t); wt.has_value())
+                    {
+                        require_one_of(*wt, outgoing);
+                        require_one_of(*wt, incoming);
+                    }
+                    if (const auto pv = lit_of_place(v, t); pv.has_value())
+                    {
+                        require_one_of(*pv, incoming);
+                    }
+                    sat::add_at_most_one(solver_, outgoing);
+                    sat::add_at_most_one(solver_, incoming);
+                }
+            }
+
+            // arc endpoints must carry the edge
+            for (const auto& [k, lit] : arc_)
+            {
+                if (std::get<0>(k) != e)
+                {
+                    continue;
+                }
+                const auto& from = std::get<1>(k);
+                const auto& to = std::get<2>(k);
+                std::vector<Lit> tail{~lit};
+                if (const auto pu = lit_of_place(u, from); pu.has_value())
+                {
+                    tail.push_back(*pu);
+                }
+                if (const auto wt = lit_of_wire(e, from); wt.has_value())
+                {
+                    tail.push_back(*wt);
+                }
+                solver_.add_clause(tail);
+                std::vector<Lit> head{~lit};
+                if (const auto pv = lit_of_place(v, to); pv.has_value())
+                {
+                    head.push_back(*pv);
+                }
+                if (const auto wt = lit_of_wire(e, to); wt.has_value())
+                {
+                    head.push_back(*wt);
+                }
+                solver_.add_clause(head);
+            }
+        }
+
+        // arc capacity: each arc used by at most one edge
+        {
+            std::map<std::pair<std::pair<int, int>, std::pair<int, int>>, std::vector<Lit>> by_arc;
+            for (const auto& [k, lit] : arc_)
+            {
+                const auto& from = std::get<1>(k);
+                const auto& to = std::get<2>(k);
+                by_arc[{{from.x, from.y}, {to.x, to.y}}].push_back(lit);
+            }
+            for (const auto& [arc, lits] : by_arc)
+            {
+                static_cast<void>(arc);
+                sat::add_at_most_one(solver_, lits);
+            }
+        }
+
+        // wires and placed nodes never share a tile
+        for (const auto& [k, wlit] : wire_)
+        {
+            const auto& t = k.second;
+            for (const auto v : nodes_)
+            {
+                if (const auto it = place_.find({v, t}); it != place_.end())
+                {
+                    solver_.add_clause(~wlit, ~it->second);
+                }
+            }
+        }
+    }
+
+    [[nodiscard]] std::optional<Lit> lit_of_place(NodeId v, HexCoord t) const
+    {
+        const auto it = place_.find({v, t});
+        if (it == place_.end())
+        {
+            return std::nullopt;
+        }
+        return it->second;
+    }
+
+    [[nodiscard]] std::optional<Lit> lit_of_wire(std::size_t e, HexCoord t) const
+    {
+        const auto it = wire_.find({e, t});
+        if (it == wire_.end())
+        {
+            return std::nullopt;
+        }
+        return it->second;
+    }
+
+    /// guard -> at least one of options (the AMO part is added separately).
+    void require_one_of(Lit guard, const std::vector<Lit>& options)
+    {
+        std::vector<Lit> clause{~guard};
+        clause.insert(clause.end(), options.begin(), options.end());
+        solver_.add_clause(clause);
+    }
+
+    [[nodiscard]] GateLevelLayout decode() const
+    {
+        GateLevelLayout layout{w_, h_, ClockingScheme::row_columnar};
+
+        // node placements
+        std::map<NodeId, HexCoord> position;
+        for (const auto& [k, lit] : place_)
+        {
+            if (solver_.model_value(lit))
+            {
+                position[k.first] = k.second;
+            }
+        }
+
+        // per node: gather in/out ports from arcs of incident edges
+        std::map<NodeId, Occupant> occupants;
+        for (const auto v : nodes_)
+        {
+            Occupant occ;
+            occ.type = network_.type_of(v);
+            occ.node = v;
+            occ.label = network_.node(v).name;
+            occupants[v] = occ;
+        }
+
+        // wire occupants per (edge, tile)
+        std::map<std::pair<std::size_t, std::pair<int, int>>, Occupant> wires;
+        for (const auto& [k, lit] : wire_)
+        {
+            if (solver_.model_value(lit))
+            {
+                Occupant occ;
+                occ.type = GateType::buf;
+                occ.node = static_cast<std::uint32_t>(k.first);
+                wires[{k.first, {k.second.x, k.second.y}}] = occ;
+            }
+        }
+
+        const auto set_in = [](Occupant& occ, Port p) {
+            if (!occ.in_a.has_value())
+            {
+                occ.in_a = p;
+            }
+            else
+            {
+                occ.in_b = p;
+            }
+        };
+        const auto set_out = [](Occupant& occ, Port p) {
+            if (!occ.out_a.has_value())
+            {
+                occ.out_a = p;
+            }
+            else
+            {
+                occ.out_b = p;
+            }
+        };
+
+        for (const auto& [k, lit] : arc_)
+        {
+            if (!solver_.model_value(lit))
+            {
+                continue;
+            }
+            const auto e = std::get<0>(k);
+            const auto& from = std::get<1>(k);
+            const auto& to = std::get<2>(k);
+            const auto out_p = exit_port(from, to);
+            const auto in_p = entry_port(from, to);
+            assert(out_p.has_value() && in_p.has_value());
+
+            const auto u = edges_[e].source;
+            const auto v = edges_[e].target;
+
+            // tail side
+            if (const auto pu = position.find(u); pu != position.end() && pu->second == from)
+            {
+                set_out(occupants[u], *out_p);
+            }
+            else
+            {
+                set_out(wires.at({e, {from.x, from.y}}), *out_p);
+            }
+            // head side
+            if (const auto pv = position.find(v); pv != position.end() && pv->second == to)
+            {
+                set_in(occupants[v], *in_p);
+            }
+            else
+            {
+                set_in(wires.at({e, {to.x, to.y}}), *in_p);
+            }
+        }
+
+        std::string err;
+        for (const auto& [v, occ] : occupants)
+        {
+            if (!layout.add_occupant(position.at(v), occ, &err))
+            {
+                throw std::runtime_error{"exact_physical_design: decode failed: " + err};
+            }
+        }
+        for (const auto& [k, occ] : wires)
+        {
+            const HexCoord t{k.second.first, k.second.second};
+            if (!layout.add_occupant(t, occ, &err))
+            {
+                throw std::runtime_error{"exact_physical_design: decode failed: " + err};
+            }
+        }
+        return layout;
+    }
+
+    const LogicNetwork& network_;
+    unsigned w_;
+    unsigned h_;
+    std::vector<unsigned> levels_;
+    std::vector<unsigned> depths_;
+    std::vector<NodeId> nodes_;
+    std::vector<Edge> edges_;
+    bool trivially_unsat_{false};
+
+    sat::Solver solver_;
+    std::map<std::pair<NodeId, HexCoord>, Lit> place_;
+    std::map<std::pair<std::size_t, HexCoord>, Lit> wire_;
+    std::map<std::tuple<std::size_t, HexCoord, HexCoord>, Lit> arc_;
+};
+
+}  // namespace
+
+unsigned minimum_height(const logic::LogicNetwork& network)
+{
+    const auto levels = node_levels(network);
+    unsigned h = 0;
+    for (const auto po : network.pos())
+    {
+        h = std::max(h, levels[po]);
+    }
+    return h + 1;
+}
+
+std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& network,
+                                                     const ExactPDOptions& options, ExactPDStats* stats)
+{
+    std::string why;
+    if (!network.is_bestagon_compliant(&why))
+    {
+        throw std::invalid_argument{"exact_physical_design: network not Bestagon-compliant: " + why};
+    }
+
+    const unsigned h_min = minimum_height(network);
+    const unsigned w_min =
+        std::max<unsigned>(1, std::max(network.num_pis(), network.num_pos()));
+
+    // candidate sizes in ascending area
+    std::vector<std::pair<unsigned, unsigned>> sizes;
+    for (unsigned w = w_min; w <= options.max_width; ++w)
+    {
+        for (unsigned h = h_min; h <= options.max_height; ++h)
+        {
+            sizes.emplace_back(w, h);
+        }
+    }
+    std::sort(sizes.begin(), sizes.end(), [](auto a, auto b) {
+        const auto area_a = a.first * a.second;
+        const auto area_b = b.first * b.second;
+        return area_a != area_b ? area_a < area_b : a.second < b.second;
+    });
+
+    const auto start = now_ms();
+    for (const auto& [w, h] : sizes)
+    {
+        const auto elapsed = now_ms() - start;
+        const auto remaining = options.time_budget_ms - elapsed;
+        if (remaining <= 0)
+        {
+            if (stats != nullptr)
+            {
+                stats->budget_exhausted = true;
+                stats->message = "time budget exhausted";
+            }
+            return std::nullopt;
+        }
+        if (stats != nullptr)
+        {
+            ++stats->sizes_tried;
+        }
+        SizeEncoding encoding{network, w, h};
+        bool budget_hit = false;
+        std::uint64_t conflicts = 0;
+        auto layout = encoding.solve(options.conflicts_per_size, remaining, &conflicts, &budget_hit);
+        if (stats != nullptr)
+        {
+            stats->total_conflicts += conflicts;
+            if (budget_hit)
+            {
+                stats->budget_exhausted = true;
+            }
+        }
+        if (layout.has_value())
+        {
+            return layout;
+        }
+    }
+    if (stats != nullptr && stats->message.empty())
+    {
+        stats->message = "no layout within size limits";
+    }
+    return std::nullopt;
+}
+
+}  // namespace bestagon::layout

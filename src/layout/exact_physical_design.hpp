@@ -1,0 +1,49 @@
+/// \file exact_physical_design.hpp
+/// \brief SAT-based exact placement & routing on the hexagonal floor plan —
+///        the adaptation of the exact method of [46] used in flow step (4).
+///
+/// For a given aspect ratio w x h under the row-based Columnar scheme, the
+/// encoding places every network node on a tile and routes every edge as a
+/// strictly downward path (one row per step = one clock phase per step,
+/// which makes all signal paths balanced by construction and yields the
+/// paper's 1/1 throughput). Aspect ratios are enumerated in ascending area,
+/// so the first satisfiable size is area-minimal.
+
+#pragma once
+
+#include "layout/gate_level_layout.hpp"
+#include "logic/network.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace bestagon::layout
+{
+
+struct ExactPDOptions
+{
+    unsigned max_width{12};
+    unsigned max_height{20};
+    std::int64_t conflicts_per_size{300000};  ///< SAT conflict budget per aspect ratio
+    std::int64_t time_budget_ms{120000};      ///< overall wall-clock budget
+};
+
+struct ExactPDStats
+{
+    unsigned sizes_tried{0};
+    std::uint64_t total_conflicts{0};
+    bool budget_exhausted{false};
+    std::string message;
+};
+
+/// Runs exact physical design on a Bestagon-compliant mapped network.
+/// Returns std::nullopt if no layout was found within the limits.
+[[nodiscard]] std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& network,
+                                                                   const ExactPDOptions& options = {},
+                                                                   ExactPDStats* stats = nullptr);
+
+/// Lower bound on the layout height (longest PI->PO path in tiles).
+[[nodiscard]] unsigned minimum_height(const logic::LogicNetwork& network);
+
+}  // namespace bestagon::layout

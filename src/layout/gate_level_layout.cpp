@@ -1,0 +1,248 @@
+#include "layout/gate_level_layout.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <stdexcept>
+
+namespace bestagon::layout
+{
+
+using logic::GateType;
+
+GateLevelLayout::GateLevelLayout(unsigned width, unsigned height, ClockingScheme scheme)
+    : width_{width}, height_{height}, scheme_{scheme},
+      tiles_(static_cast<std::size_t>(width) * height)
+{
+    if (width == 0 || height == 0)
+    {
+        throw std::invalid_argument{"GateLevelLayout: dimensions must be positive"};
+    }
+}
+
+const std::vector<Occupant>& GateLevelLayout::occupants(HexCoord c) const
+{
+    static const std::vector<Occupant> empty;
+    if (!in_bounds(c))
+    {
+        return empty;
+    }
+    return tiles_[index(c)];
+}
+
+bool GateLevelLayout::add_occupant(HexCoord c, Occupant occ, std::string* error)
+{
+    const auto fail = [&](const char* why) {
+        if (error != nullptr)
+        {
+            *error = why;
+        }
+        return false;
+    };
+    if (!in_bounds(c))
+    {
+        return fail("tile out of bounds");
+    }
+    auto& cell = tiles_[index(c)];
+    if (cell.size() >= 2)
+    {
+        return fail("tile already holds two occupants");
+    }
+    if (!cell.empty())
+    {
+        // only two wire segments may share a tile (crossing / parallel wires)
+        if (!cell.front().is_wire() || !occ.is_wire())
+        {
+            return fail("only two wire segments may share a tile");
+        }
+        for (const Port p : {Port::nw, Port::ne, Port::sw, Port::se})
+        {
+            if (cell.front().uses_port(p) && occ.uses_port(p))
+            {
+                return fail("port conflict between wire segments");
+            }
+        }
+    }
+    // I/O row conventions (border I/O design rule)
+    if (occ.type == GateType::pi && c.y != 0)
+    {
+        return fail("primary inputs must be placed in the top row");
+    }
+    if (occ.type == GateType::po && c.y != static_cast<std::int32_t>(height_) - 1)
+    {
+        return fail("primary outputs must be placed in the bottom row");
+    }
+    cell.push_back(std::move(occ));
+    return true;
+}
+
+std::size_t GateLevelLayout::num_occupied_tiles() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(tiles_.begin(), tiles_.end(), [](const auto& v) { return !v.empty(); }));
+}
+
+std::size_t GateLevelLayout::num_gate_tiles() const
+{
+    std::size_t count = 0;
+    for (const auto& cell : tiles_)
+    {
+        for (const auto& occ : cell)
+        {
+            switch (occ.type)
+            {
+                case GateType::pi:
+                case GateType::po:
+                case GateType::buf:
+                case GateType::none: break;
+                default: ++count;
+            }
+        }
+    }
+    return count;
+}
+
+std::size_t GateLevelLayout::num_wire_segments() const
+{
+    std::size_t count = 0;
+    for (const auto& cell : tiles_)
+    {
+        for (const auto& occ : cell)
+        {
+            if (occ.is_wire())
+            {
+                ++count;
+            }
+        }
+    }
+    return count;
+}
+
+std::size_t GateLevelLayout::num_crossing_tiles() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(tiles_.begin(), tiles_.end(), [](const auto& v) { return v.size() == 2; }));
+}
+
+std::vector<HexCoord> GateLevelLayout::all_tiles() const
+{
+    std::vector<HexCoord> tiles;
+    tiles.reserve(area());
+    for (unsigned y = 0; y < height_; ++y)
+    {
+        for (unsigned x = 0; x < width_; ++x)
+        {
+            tiles.push_back(HexCoord{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)});
+        }
+    }
+    return tiles;
+}
+
+logic::LogicNetwork GateLevelLayout::extract_network(const logic::LogicNetwork& reference) const
+{
+    logic::LogicNetwork net;
+
+    // signal produced at (tile, out port) -> node in `net`
+    std::map<std::pair<std::pair<std::int32_t, std::int32_t>, Port>, logic::LogicNetwork::NodeId> signals;
+    const auto key = [](HexCoord c, Port p) { return std::make_pair(std::make_pair(c.x, c.y), p); };
+
+    // create PIs in the reference order first
+    std::map<std::uint32_t, logic::LogicNetwork::NodeId> pi_nodes;
+    for (const auto ref_pi : reference.pis())
+    {
+        pi_nodes[ref_pi] = net.create_pi(reference.node(ref_pi).name);
+    }
+
+    // collect PO connections to emit in reference order
+    std::map<std::uint32_t, logic::LogicNetwork::NodeId> po_drivers;
+
+    for (unsigned y = 0; y < height_; ++y)
+    {
+        for (unsigned x = 0; x < width_; ++x)
+        {
+            const HexCoord c{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)};
+            for (const auto& occ : tiles_[index(c)])
+            {
+                // resolve input signals: entering via our NW means the source
+                // tile exported via its SE (and NE pairs with SW)
+                const auto input_signal = [&](Port in) -> logic::LogicNetwork::NodeId {
+                    const auto src = neighbor(c, in);
+                    const Port src_out = (in == Port::nw) ? Port::se : Port::sw;
+                    const auto it = signals.find(key(src, src_out));
+                    if (it == signals.end())
+                    {
+                        throw std::runtime_error{"extract_network: dangling input at tile (" +
+                                                 std::to_string(c.x) + "," + std::to_string(c.y) + ")"};
+                    }
+                    return it->second;
+                };
+
+                logic::LogicNetwork::NodeId out = logic::LogicNetwork::invalid_node;
+                switch (occ.type)
+                {
+                    case GateType::pi:
+                    {
+                        const auto it = pi_nodes.find(occ.node);
+                        if (it == pi_nodes.end())
+                        {
+                            throw std::runtime_error{"extract_network: unknown PI node"};
+                        }
+                        out = it->second;
+                        break;
+                    }
+                    case GateType::po:
+                        assert(occ.in_a.has_value());
+                        po_drivers[occ.node] = input_signal(*occ.in_a);
+                        continue;
+                    case GateType::buf:
+                    case GateType::inv:
+                    case GateType::fanout:
+                    {
+                        assert(occ.in_a.has_value());
+                        const auto a = input_signal(*occ.in_a);
+                        out = occ.type == GateType::buf
+                                  ? net.create_buf(a)
+                                  : (occ.type == GateType::inv ? net.create_not(a) : net.create_fanout(a));
+                        break;
+                    }
+                    case GateType::and2:
+                    case GateType::or2:
+                    case GateType::nand2:
+                    case GateType::nor2:
+                    case GateType::xor2:
+                    case GateType::xnor2:
+                    {
+                        assert(occ.in_a.has_value() && occ.in_b.has_value());
+                        const auto a = input_signal(*occ.in_a);
+                        const auto b = input_signal(*occ.in_b);
+                        out = net.create_gate(occ.type, {a, b});
+                        break;
+                    }
+                    default: throw std::runtime_error{"extract_network: unsupported occupant type"};
+                }
+
+                if (occ.out_a.has_value())
+                {
+                    signals[key(c, *occ.out_a)] = out;
+                }
+                if (occ.out_b.has_value())
+                {
+                    signals[key(c, *occ.out_b)] = out;
+                }
+            }
+        }
+    }
+
+    for (const auto ref_po : reference.pos())
+    {
+        const auto it = po_drivers.find(ref_po);
+        if (it == po_drivers.end())
+        {
+            throw std::runtime_error{"extract_network: missing PO"};
+        }
+        net.create_po(it->second, reference.node(ref_po).name);
+    }
+    return net;
+}
+
+}  // namespace bestagon::layout

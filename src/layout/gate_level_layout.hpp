@@ -1,0 +1,95 @@
+/// \file gate_level_layout.hpp
+/// \brief Clocked gate-level layouts on the hexagonal Bestagon floor plan.
+///
+/// A layout is a w x h grid of hexagonal tiles (odd-r offset). Each tile
+/// holds up to two occupants: one logic gate, or up to two wire segments
+/// (which realizes both the crossing tile and the two-parallel-wires tile of
+/// the Bestagon library). Ports follow the feed-forward convention: inputs
+/// arrive via NW/NE, outputs leave via SW/SE.
+
+#pragma once
+
+#include "layout/clocking.hpp"
+#include "layout/coordinates.hpp"
+#include "logic/network.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bestagon::layout
+{
+
+/// One occupant of a tile: a gate, an I/O pin, or a wire segment.
+struct Occupant
+{
+    logic::GateType type{logic::GateType::none};
+    std::uint32_t node{0};              ///< originating network node (gates/PIs/POs) or edge tag (wires)
+    std::optional<Port> in_a;           ///< first input port
+    std::optional<Port> in_b;           ///< second input port (two-input gates)
+    std::optional<Port> out_a;          ///< first output port
+    std::optional<Port> out_b;          ///< second output port (fan-out)
+    std::string label;                  ///< PI/PO name for rendering
+
+    [[nodiscard]] bool is_wire() const noexcept { return type == logic::GateType::buf; }
+    [[nodiscard]] bool uses_port(Port p) const noexcept
+    {
+        return in_a == p || in_b == p || out_a == p || out_b == p;
+    }
+};
+
+/// A clocked hexagonal gate-level layout.
+class GateLevelLayout
+{
+  public:
+    GateLevelLayout(unsigned width, unsigned height,
+                    ClockingScheme scheme = ClockingScheme::row_columnar);
+
+    [[nodiscard]] unsigned width() const noexcept { return width_; }
+    [[nodiscard]] unsigned height() const noexcept { return height_; }
+    [[nodiscard]] ClockingScheme scheme() const noexcept { return scheme_; }
+    [[nodiscard]] unsigned area() const noexcept { return width_ * height_; }
+
+    [[nodiscard]] bool in_bounds(HexCoord c) const noexcept
+    {
+        return c.x >= 0 && c.y >= 0 && c.x < static_cast<std::int32_t>(width_) &&
+               c.y < static_cast<std::int32_t>(height_);
+    }
+
+    [[nodiscard]] const std::vector<Occupant>& occupants(HexCoord c) const;
+    [[nodiscard]] bool is_empty(HexCoord c) const { return occupants(c).empty(); }
+
+    /// Adds an occupant; rejects out-of-bounds tiles, port conflicts, more
+    /// than two occupants, or mixing gates with other occupants.
+    bool add_occupant(HexCoord c, Occupant occ, std::string* error = nullptr);
+
+    /// Clock zone of a tile under the layout's scheme.
+    [[nodiscard]] unsigned zone(HexCoord c) const noexcept { return clock_zone(scheme_, c); }
+
+    // statistics ------------------------------------------------------------
+    [[nodiscard]] std::size_t num_occupied_tiles() const;
+    [[nodiscard]] std::size_t num_gate_tiles() const;  ///< excludes wires, PIs, POs
+    [[nodiscard]] std::size_t num_wire_segments() const;
+    [[nodiscard]] std::size_t num_crossing_tiles() const;  ///< tiles with two wires
+
+    /// Reconstructs the logic network realized by the layout, with PIs and
+    /// POs ordered as in \p reference (matched through Occupant::node).
+    /// Used by SAT-based equivalence checking (flow step 5).
+    [[nodiscard]] logic::LogicNetwork extract_network(const logic::LogicNetwork& reference) const;
+
+    /// All tiles in row-major order (rows are topological under row clocking).
+    [[nodiscard]] std::vector<HexCoord> all_tiles() const;
+
+  private:
+    unsigned width_;
+    unsigned height_;
+    ClockingScheme scheme_;
+    std::vector<std::vector<Occupant>> tiles_;  // row-major
+
+    [[nodiscard]] std::size_t index(HexCoord c) const noexcept
+    {
+        return static_cast<std::size_t>(c.y) * width_ + static_cast<std::size_t>(c.x);
+    }
+};
+
+}  // namespace bestagon::layout

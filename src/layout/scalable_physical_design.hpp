@@ -1,0 +1,27 @@
+/// \file scalable_physical_design.hpp
+/// \brief Scalable heuristic placement & routing on the hexagonal floor plan.
+///
+/// A constructive, always-feasible "signal march" in the spirit of the
+/// scalable FCN methods [49]: signals flow strictly downward one row (= one
+/// clock phase) per step; gates are placed as soon as their fan-in signals
+/// have been steered into adjacent columns; wire crossings are realized via
+/// shared crossing tiles. Because every edge advances exactly one row per
+/// step, all paths stay balanced and throughput remains 1/1 — the layouts
+/// are just (possibly much) larger than the SAT-optimal ones, which is the
+/// classic quality/runtime trade-off the paper's flow inherits from [46]/[49].
+
+#pragma once
+
+#include "layout/gate_level_layout.hpp"
+#include "logic/network.hpp"
+
+#include <optional>
+
+namespace bestagon::layout
+{
+
+/// Runs the heuristic placer on a Bestagon-compliant mapped network.
+/// Returns std::nullopt only on malformed inputs.
+[[nodiscard]] std::optional<GateLevelLayout> scalable_physical_design(const logic::LogicNetwork& network);
+
+}  // namespace bestagon::layout

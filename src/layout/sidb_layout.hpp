@@ -1,0 +1,58 @@
+/// \file sidb_layout.hpp
+/// \brief Dot-accurate SiDB cell-level layouts (the flow's final artifact).
+
+#pragma once
+
+#include "phys/lattice.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace bestagon::layout
+{
+
+/// A dot-accurate SiDB layout: the set of dangling-bond sites to fabricate.
+struct SiDBLayout
+{
+    std::vector<phys::SiDBSite> sites;
+
+    [[nodiscard]] std::size_t num_sidbs() const noexcept { return sites.size(); }
+
+    /// Physical bounding box in nm (xmin, ymin, xmax, ymax).
+    [[nodiscard]] std::array<double, 4> bounding_box_nm() const
+    {
+        if (sites.empty())
+        {
+            return {0.0, 0.0, 0.0, 0.0};
+        }
+        double xmin = sites.front().x(), xmax = xmin;
+        double ymin = sites.front().y(), ymax = ymin;
+        for (const auto& s : sites)
+        {
+            xmin = std::min(xmin, s.x());
+            xmax = std::max(xmax, s.x());
+            ymin = std::min(ymin, s.y());
+            ymax = std::max(ymax, s.y());
+        }
+        return {xmin, ymin, xmax, ymax};
+    }
+
+    /// Bounding-box area in nm^2.
+    [[nodiscard]] double bounding_box_area_nm2() const
+    {
+        const auto [x0, y0, x1, y1] = bounding_box_nm();
+        return (x1 - x0) * (y1 - y0);
+    }
+
+    /// True if no site is duplicated (a fabrication requirement).
+    [[nodiscard]] bool all_sites_unique() const
+    {
+        auto sorted = sites;
+        std::sort(sorted.begin(), sorted.end());
+        return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+    }
+};
+
+}  // namespace bestagon::layout

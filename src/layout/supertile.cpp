@@ -1,0 +1,56 @@
+#include "layout/supertile.hpp"
+
+#include <cmath>
+
+namespace bestagon::layout
+{
+
+bool SuperTileLayout::clocking_valid() const
+{
+    if (base == nullptr)
+    {
+        return false;
+    }
+    for (const auto& t : base->all_tiles())
+    {
+        for (const auto& occ : base->occupants(t))
+        {
+            for (const auto out : {occ.out_a, occ.out_b})
+            {
+                if (!out.has_value())
+                {
+                    continue;
+                }
+                const auto nb = neighbor(t, *out);
+                if (!base->in_bounds(nb))
+                {
+                    continue;
+                }
+                const auto zf = zone(t);
+                const auto zt = zone(nb);
+                if (zt != zf && zt != (zf + 1) % num_clock_phases)
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+unsigned minimum_expansion_factor(const ElectrodeTechnology& tech)
+{
+    return static_cast<unsigned>(std::ceil(tech.min_metal_pitch_nm / tech.tile_height_nm));
+}
+
+SuperTileLayout make_supertiles(const GateLevelLayout& layout, unsigned expansion_factor,
+                                const ElectrodeTechnology& tech)
+{
+    SuperTileLayout result;
+    result.base = &layout;
+    result.expansion_factor =
+        expansion_factor == 0 ? minimum_expansion_factor(tech) : expansion_factor;
+    return result;
+}
+
+}  // namespace bestagon::layout

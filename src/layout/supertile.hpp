@@ -1,0 +1,73 @@
+/// \file supertile.hpp
+/// \brief Super-tile merging via clock-zone expansion (flow step 6, Fig. 4).
+///
+/// State-of-the-art 7 nm lithography offers a minimum metal pitch of 40 nm
+/// [54], far larger than a single Bestagon tile (~23 x 18.4 nm). Adjacent
+/// tiles are therefore grouped into *super-tiles* driven by one clocking
+/// electrode. With the row-based Columnar scheme, a super-tile is a band of
+/// `expansion_factor` consecutive tile rows; the scheme stays feed-forward
+/// because information never re-enters an earlier row.
+
+#pragma once
+
+#include "layout/gate_level_layout.hpp"
+
+#include <string>
+#include <vector>
+
+namespace bestagon::layout
+{
+
+/// Fabrication constants for the clocking network.
+struct ElectrodeTechnology
+{
+    double min_metal_pitch_nm{40.0};  ///< 7 nm node minimum metal pitch [54]
+    double tile_height_nm{18.432};    ///< 24 dimer rows
+    double tile_width_nm{23.04};      ///< 60 lattice columns
+};
+
+/// A clock-zone-expanded layout: tile (x, y) is driven by clock zone
+/// (y / expansion_factor) mod 4.
+struct SuperTileLayout
+{
+    const GateLevelLayout* base{nullptr};
+    unsigned expansion_factor{3};
+
+    [[nodiscard]] unsigned zone(HexCoord c) const noexcept
+    {
+        return (static_cast<unsigned>(c.y) / expansion_factor) % num_clock_phases;
+    }
+
+    /// Number of super-tile row bands.
+    [[nodiscard]] unsigned num_bands() const
+    {
+        return (base->height() + expansion_factor - 1) / expansion_factor;
+    }
+
+    /// Electrode pitch implied by the expansion (band height in nm).
+    [[nodiscard]] double electrode_pitch_nm(const ElectrodeTechnology& tech) const
+    {
+        return expansion_factor * tech.tile_height_nm;
+    }
+
+    /// True if the expansion satisfies the minimum metal pitch.
+    [[nodiscard]] bool satisfies_pitch(const ElectrodeTechnology& tech) const
+    {
+        return electrode_pitch_nm(tech) >= tech.min_metal_pitch_nm;
+    }
+
+    /// True if every connection still flows into the same or the successor
+    /// clock zone (feed-forward validity of the expanded clocking).
+    [[nodiscard]] bool clocking_valid() const;
+};
+
+/// Smallest expansion factor satisfying the metal pitch.
+[[nodiscard]] unsigned minimum_expansion_factor(const ElectrodeTechnology& tech = {});
+
+/// Expands the clock zones of \p layout into super-tile bands. Uses the
+/// minimum feasible expansion factor if \p expansion_factor is 0.
+[[nodiscard]] SuperTileLayout make_supertiles(const GateLevelLayout& layout,
+                                              unsigned expansion_factor = 0,
+                                              const ElectrodeTechnology& tech = {});
+
+}  // namespace bestagon::layout

@@ -1,0 +1,238 @@
+#include "logic/benchmarks.hpp"
+
+namespace bestagon::logic
+{
+
+namespace
+{
+
+using N = LogicNetwork;
+
+N build_xor2()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b");
+    n.create_po(n.create_xor(a, b), "f");
+    return n;
+}
+
+N build_xnor2()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b");
+    n.create_po(n.create_xnor(a, b), "f");
+    return n;
+}
+
+N build_par_gen()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b"), c = n.create_pi("c");
+    n.create_po(n.create_xor(n.create_xor(a, b), c), "par");
+    return n;
+}
+
+N build_mux21()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b"), s = n.create_pi("s");
+    const auto l = n.create_and(a, n.create_not(s));
+    const auto r = n.create_and(b, s);
+    n.create_po(n.create_or(l, r), "f");
+    return n;
+}
+
+N build_par_check()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b"), c = n.create_pi("c"), d = n.create_pi("d");
+    const auto ab = n.create_xor(a, b);
+    const auto cd = n.create_xor(c, d);
+    n.create_po(n.create_xnor(ab, cd), "ok");
+    return n;
+}
+
+N build_xor5_r1()
+{
+    N n;
+    std::vector<N::NodeId> in;
+    for (const char* name : {"a", "b", "c", "d", "e"})
+    {
+        in.push_back(n.create_pi(name));
+    }
+    const auto x1 = n.create_xor(in[0], in[1]);
+    const auto x2 = n.create_xor(in[2], in[3]);
+    const auto x3 = n.create_xor(x1, x2);
+    n.create_po(n.create_xor(x3, in[4]), "par");
+    return n;
+}
+
+/// XOR expressed through majority gates (the "xor5_majority" variant of [13]):
+/// XOR(a,b) = MAJ(~MAJ(a,b,0), MAJ(a,b,1), 0) = (a|b) & ~(a&b).
+N::NodeId xor_from_maj(N& n, N::NodeId a, N::NodeId b)
+{
+    const auto c0 = n.create_const(false);
+    const auto c1 = n.create_const(true);
+    const auto lo = n.create_maj(a, b, c0);  // a & b
+    const auto hi = n.create_maj(a, b, c1);  // a | b
+    return n.create_maj(n.create_not(lo), hi, c0);
+}
+
+N build_xor5_majority()
+{
+    N n;
+    std::vector<N::NodeId> in;
+    for (const char* name : {"a", "b", "c", "d", "e"})
+    {
+        in.push_back(n.create_pi(name));
+    }
+    auto acc = xor_from_maj(n, in[0], in[1]);
+    for (std::size_t i = 2; i < in.size(); ++i)
+    {
+        acc = xor_from_maj(n, acc, in[i]);
+    }
+    n.create_po(acc, "par");
+    return n;
+}
+
+/// Reconstruction of the `t` benchmark from [13] (5 PI / 2 PO, c17-scale).
+N build_t()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b"), c = n.create_pi("c"), d = n.create_pi("d"),
+               e = n.create_pi("e");
+    const auto ab = n.create_and(a, b);
+    const auto cd = n.create_and(c, d);
+    const auto o1 = n.create_or(ab, cd);
+    const auto x = n.create_xor(c, d);
+    const auto o2 = n.create_and(x, e);
+    n.create_po(o1, "o1");
+    n.create_po(o2, "o2");
+    return n;
+}
+
+/// Reconstruction of the `t_5` benchmark from [13] (5 PI / 2 PO).
+N build_t_5()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b"), c = n.create_pi("c"), d = n.create_pi("d"),
+               e = n.create_pi("e");
+    const auto m = n.create_maj(a, b, c);
+    const auto de = n.create_and(d, e);
+    const auto o1 = n.create_xor(m, de);
+    const auto ad = n.create_or(a, d);
+    const auto be = n.create_and(b, e);
+    const auto o2 = n.create_xor(ad, be);
+    n.create_po(o1, "o1");
+    n.create_po(o2, "o2");
+    return n;
+}
+
+/// ISCAS-85 c17 [7]: six NAND gates, 5 PIs, 2 POs.
+N build_c17()
+{
+    N n;
+    const auto i1 = n.create_pi("1"), i2 = n.create_pi("2"), i3 = n.create_pi("3"), i6 = n.create_pi("6"),
+               i7 = n.create_pi("7");
+    const auto n10 = n.create_nand(i1, i3);
+    const auto n11 = n.create_nand(i3, i6);
+    const auto n16 = n.create_nand(i2, n11);
+    const auto n19 = n.create_nand(n11, i7);
+    const auto n22 = n.create_nand(n10, n16);
+    const auto n23 = n.create_nand(n16, n19);
+    n.create_po(n22, "22");
+    n.create_po(n23, "23");
+    return n;
+}
+
+N build_majority()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b"), c = n.create_pi("c");
+    n.create_po(n.create_maj(a, b, c), "maj");
+    return n;
+}
+
+/// 5-input majority via two full-adder stages:
+/// c1 = MAJ(a,b,c), s1 = a^b^c; c2 = MAJ(s1,d,e), s2 = s1^d^e;
+/// MAJ5 = (c1 & c2) | ((c1 | c2) & s2).
+N build_majority_5_r1()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b"), c = n.create_pi("c"), d = n.create_pi("d"),
+               e = n.create_pi("e");
+    const auto c1 = n.create_maj(a, b, c);
+    const auto s1 = n.create_xor(n.create_xor(a, b), c);
+    const auto c2 = n.create_maj(s1, d, e);
+    const auto s2 = n.create_xor(n.create_xor(s1, d), e);
+    const auto both = n.create_and(c1, c2);
+    const auto any = n.create_or(c1, c2);
+    n.create_po(n.create_or(both, n.create_and(any, s2)), "maj5");
+    return n;
+}
+
+/// cm82a (MCNC): a two-stage adder slice; 5 PIs, 3 POs.
+N build_cm82a_5()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b"), c = n.create_pi("c"), d = n.create_pi("d"),
+               e = n.create_pi("e");
+    const auto s1 = n.create_xor(n.create_xor(a, b), c);
+    const auto c1 = n.create_maj(a, b, c);
+    const auto s2 = n.create_xor(n.create_xor(c1, d), e);
+    const auto c2 = n.create_maj(c1, d, e);
+    n.create_po(s1, "s1");
+    n.create_po(s2, "s2");
+    n.create_po(c2, "c2");
+    return n;
+}
+
+/// Reconstruction of the `newtag` benchmark (MCNC; 8 PI / 1 PO).
+N build_newtag()
+{
+    N n;
+    const auto a = n.create_pi("a"), b = n.create_pi("b"), c = n.create_pi("c"), d = n.create_pi("d"),
+               e = n.create_pi("e"), f = n.create_pi("f"), g = n.create_pi("g"), h = n.create_pi("h");
+    const auto t1 = n.create_and(n.create_and(a, b), n.create_not(c));
+    const auto t2 = n.create_and(n.create_not(a), n.create_and(d, e));
+    const auto t3 = n.create_and(n.create_and(f, n.create_not(g)), h);
+    n.create_po(n.create_or(n.create_or(t1, t2), t3), "out");
+    return n;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& table1_benchmarks()
+{
+    static const std::vector<Benchmark> benchmarks = {
+        {"xor2", "[43]", build_xor2, {2, 3, 6, 58, 2403.98}},
+        {"xnor2", "[43]", build_xnor2, {2, 3, 6, 58, 2403.98}},
+        {"par_gen", "[43]", build_par_gen, {3, 4, 12, 103, 4830.22}},
+        {"mux21", "[43]", build_mux21, {3, 6, 18, 196, 7258.52}},
+        {"par_check", "[43]", build_par_check, {4, 7, 28, 284, 11312.68}},
+        {"xor5_r1", "[13]", build_xor5_r1, {5, 6, 30, 232, 12124.57}},
+        {"xor5_majority", "[13]", build_xor5_majority, {5, 6, 30, 244, 12124.57}},
+        {"t", "[13]", build_t, {5, 8, 40, 426, 16180.79}},
+        {"t_5", "[13]", build_t_5, {5, 8, 40, 448, 16180.79}},
+        {"c17", "[13]", build_c17, {5, 8, 40, 396, 16180.79}},
+        {"majority", "[13]", build_majority, {5, 11, 55, 651, 22265.12}},
+        {"majority_5_r1", "[13]", build_majority_5_r1, {5, 12, 60, 737, 24293.23}},
+        {"cm82a_5", "[13]", build_cm82a_5, {5, 15, 75, 1211, 30377.56}},
+        {"newtag", "[13]", build_newtag, {8, 10, 80, 651, 32419.82}},
+    };
+    return benchmarks;
+}
+
+const Benchmark* find_benchmark(const std::string& name)
+{
+    for (const auto& b : table1_benchmarks())
+    {
+        if (b.name == name)
+        {
+            return &b;
+        }
+    }
+    return nullptr;
+}
+
+}  // namespace bestagon::logic

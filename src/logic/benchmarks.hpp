@@ -1,0 +1,48 @@
+/// \file benchmarks.hpp
+/// \brief The benchmark suite used in the paper's Table 1: circuits from
+///        Trindade et al. [43] and Fontes et al. [13] (c17 originally from
+///        the ISCAS-85 set [7]).
+///
+/// The paper does not print the netlists; for the five Trindade benchmarks,
+/// c17, the parity and majority functions, the functions are standard. The
+/// netlists for t, t_5 and newtag are faithful-scale reconstructions (same
+/// PI/PO counts and similar gate counts); see DESIGN.md.
+
+#pragma once
+
+#include "logic/network.hpp"
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bestagon::logic
+{
+
+/// Reference values from the paper's Table 1 for comparison in benches.
+struct Table1Row
+{
+    unsigned width{0};
+    unsigned height{0};
+    unsigned area_tiles{0};
+    unsigned sidbs{0};
+    double area_nm2{0.0};
+};
+
+/// A named benchmark with its source and the paper's reported layout data.
+struct Benchmark
+{
+    std::string name;
+    std::string source;  ///< "[43]" or "[13]"
+    std::function<LogicNetwork()> build;
+    Table1Row paper;
+};
+
+/// All 14 Table-1 benchmarks in paper order.
+[[nodiscard]] const std::vector<Benchmark>& table1_benchmarks();
+
+/// Looks up a benchmark by name (nullptr if unknown).
+[[nodiscard]] const Benchmark* find_benchmark(const std::string& name);
+
+}  // namespace bestagon::logic

@@ -1,0 +1,190 @@
+#include "logic/cuts.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace bestagon::logic
+{
+
+namespace
+{
+
+using NodeId = LogicNetwork::NodeId;
+
+/// True if cut \p a dominates \p b (a's leaves are a subset of b's).
+[[nodiscard]] bool dominates(const std::vector<NodeId>& a, const std::vector<NodeId>& b)
+{
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/// Merges two sorted leaf sets; returns empty optional-like flag via size > k.
+[[nodiscard]] std::vector<NodeId> merge_leaves(const std::vector<NodeId>& a, const std::vector<NodeId>& b)
+{
+    std::vector<NodeId> out;
+    out.reserve(a.size() + b.size());
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+}  // namespace
+
+TruthTable compute_cut_function(const LogicNetwork& network, NodeId root,
+                                const std::vector<NodeId>& leaves)
+{
+    const auto n = static_cast<unsigned>(leaves.size());
+    std::unordered_map<NodeId, TruthTable> memo;
+    for (unsigned i = 0; i < n; ++i)
+    {
+        memo.emplace(leaves[i], TruthTable::nth_var(n, i));
+    }
+
+    // iterative post-order evaluation
+    std::vector<NodeId> stack{root};
+    while (!stack.empty())
+    {
+        const NodeId id = stack.back();
+        if (memo.count(id) != 0)
+        {
+            stack.pop_back();
+            continue;
+        }
+        const auto& node = network.node(id);
+        const unsigned arity = gate_arity(node.type);
+        if (arity == 0)
+        {
+            // constant leaves are allowed; PIs must be cut leaves
+            if (node.type == GateType::const0)
+            {
+                memo.emplace(id, TruthTable::constant(n, false));
+            }
+            else if (node.type == GateType::const1)
+            {
+                memo.emplace(id, TruthTable::constant(n, true));
+            }
+            else
+            {
+                throw std::logic_error{"compute_cut_function: cone not covered by leaves"};
+            }
+            stack.pop_back();
+            continue;
+        }
+        bool ready = true;
+        for (unsigned i = 0; i < arity; ++i)
+        {
+            if (memo.count(node.fanin[i]) == 0)
+            {
+                stack.push_back(node.fanin[i]);
+                ready = false;
+            }
+        }
+        if (!ready)
+        {
+            continue;
+        }
+        stack.pop_back();
+        const auto& a = memo.at(node.fanin[0]);
+        switch (node.type)
+        {
+            case GateType::buf:
+            case GateType::fanout:
+            case GateType::po: memo.emplace(id, a); break;
+            case GateType::inv: memo.emplace(id, ~a); break;
+            case GateType::and2: memo.emplace(id, a & memo.at(node.fanin[1])); break;
+            case GateType::or2: memo.emplace(id, a | memo.at(node.fanin[1])); break;
+            case GateType::nand2: memo.emplace(id, ~(a & memo.at(node.fanin[1]))); break;
+            case GateType::nor2: memo.emplace(id, ~(a | memo.at(node.fanin[1]))); break;
+            case GateType::xor2: memo.emplace(id, a ^ memo.at(node.fanin[1])); break;
+            case GateType::xnor2: memo.emplace(id, ~(a ^ memo.at(node.fanin[1]))); break;
+            case GateType::maj3:
+                memo.emplace(id, (a & memo.at(node.fanin[1])) | (a & memo.at(node.fanin[2])) |
+                                     (memo.at(node.fanin[1]) & memo.at(node.fanin[2])));
+                break;
+            default: throw std::logic_error{"compute_cut_function: unexpected node type"};
+        }
+    }
+    return memo.at(root);
+}
+
+CutEnumeration::CutEnumeration(const LogicNetwork& network, unsigned k, unsigned cut_limit)
+{
+    cuts_.resize(network.size());
+    for (const auto id : network.topological_order())
+    {
+        const auto& node = network.node(id);
+        auto& node_cuts = cuts_[id];
+
+        const auto add_cut = [&](std::vector<NodeId> leaves) {
+            if (leaves.size() > k)
+            {
+                return;
+            }
+            for (const auto& existing : node_cuts)
+            {
+                if (dominates(existing.leaves, leaves))
+                {
+                    return;  // dominated by an existing (smaller) cut
+                }
+            }
+            if (node_cuts.size() >= cut_limit)
+            {
+                return;
+            }
+            Cut cut;
+            cut.function = compute_cut_function(network, id, leaves);
+            cut.leaves = std::move(leaves);
+            node_cuts.push_back(std::move(cut));
+        };
+
+        switch (node.type)
+        {
+            case GateType::none: continue;
+            case GateType::pi:
+            case GateType::const0:
+            case GateType::const1: add_cut({id}); continue;
+            default: break;
+        }
+
+        const unsigned arity = gate_arity(node.type);
+        if (arity == 1)
+        {
+            for (const auto& c : cuts_[node.fanin[0]])
+            {
+                add_cut(c.leaves);
+            }
+        }
+        else if (arity == 2)
+        {
+            for (const auto& ca : cuts_[node.fanin[0]])
+            {
+                for (const auto& cb : cuts_[node.fanin[1]])
+                {
+                    add_cut(merge_leaves(ca.leaves, cb.leaves));
+                }
+            }
+        }
+        else if (arity == 3)
+        {
+            for (const auto& ca : cuts_[node.fanin[0]])
+            {
+                for (const auto& cb : cuts_[node.fanin[1]])
+                {
+                    const auto ab = merge_leaves(ca.leaves, cb.leaves);
+                    if (ab.size() > k)
+                    {
+                        continue;
+                    }
+                    for (const auto& cc : cuts_[node.fanin[2]])
+                    {
+                        add_cut(merge_leaves(ab, cc.leaves));
+                    }
+                }
+            }
+        }
+        // the trivial cut {node} is always available
+        add_cut({id});
+    }
+}
+
+}  // namespace bestagon::logic

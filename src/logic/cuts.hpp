@@ -1,0 +1,46 @@
+/// \file cuts.hpp
+/// \brief K-feasible cut enumeration with cut functions.
+///
+/// Cuts drive the NPN rewriting engine: each cut of a node induces a local
+/// function over its leaves that can be replaced by an optimal implementation
+/// from the exact NPN database.
+
+#pragma once
+
+#include "logic/network.hpp"
+#include "logic/truth_table.hpp"
+
+#include <vector>
+
+namespace bestagon::logic
+{
+
+/// A cut: set of leaves (sorted by node id) and the root function over them
+/// (variable i of the function corresponds to leaves[i]).
+struct Cut
+{
+    std::vector<LogicNetwork::NodeId> leaves;
+    TruthTable function;
+};
+
+/// Enumerates up to \p cut_limit k-feasible cuts per node.
+class CutEnumeration
+{
+  public:
+    CutEnumeration(const LogicNetwork& network, unsigned k = 4, unsigned cut_limit = 12);
+
+    [[nodiscard]] const std::vector<Cut>& cuts_of(LogicNetwork::NodeId node) const
+    {
+        return cuts_[node];
+    }
+
+  private:
+    std::vector<std::vector<Cut>> cuts_;
+};
+
+/// Computes the function of \p root over the given \p leaves by simulating
+/// the cone in between. All cone paths from \p root must terminate in leaves.
+[[nodiscard]] TruthTable compute_cut_function(const LogicNetwork& network, LogicNetwork::NodeId root,
+                                              const std::vector<LogicNetwork::NodeId>& leaves);
+
+}  // namespace bestagon::logic

@@ -1,0 +1,56 @@
+/// \file exact_synthesis.hpp
+/// \brief SAT-based exact synthesis of minimal Boolean chains (XAG-compatible)
+///        and the exact NPN database used by the rewriting engine.
+///
+/// The paper's flow performs "cut-based logic rewriting with an exact NPN
+/// database" [38]. We rebuild that database on the fly: for each canonical
+/// NPN class encountered, a minimal-length Boolean chain (two-input gates
+/// over {AND, OR, XOR, AND-with-complemented-input}, explicit inverters) is
+/// synthesized with the CDCL solver and cached.
+
+#pragma once
+
+#include "logic/network.hpp"
+#include "logic/truth_table.hpp"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+namespace bestagon::logic
+{
+
+/// Synthesizes a minimal network computing \p f over its variables.
+/// Returns std::nullopt if no implementation with at most \p max_gates
+/// two-input gates was found within the conflict budget per SAT call.
+/// The returned network has f.num_vars() PIs and one PO.
+[[nodiscard]] std::optional<LogicNetwork> exact_synthesize(const TruthTable& f, unsigned max_gates = 7,
+                                                           std::int64_t conflict_budget = 50000);
+
+/// A cache of exact implementations keyed by canonical NPN representative.
+class NpnDatabase
+{
+  public:
+    explicit NpnDatabase(unsigned max_gates = 7, std::int64_t conflict_budget = 50000)
+        : max_gates_{max_gates}, conflict_budget_{conflict_budget}
+    {
+    }
+
+    /// Returns the cached or freshly synthesized implementation of the
+    /// canonical function \p canonical, or nullptr if synthesis failed.
+    const LogicNetwork* lookup(const TruthTable& canonical);
+
+    [[nodiscard]] std::size_t num_entries() const noexcept { return cache_.size(); }
+    [[nodiscard]] std::size_t num_synthesis_failures() const noexcept { return failures_; }
+
+  private:
+    unsigned max_gates_;
+    std::int64_t conflict_budget_;
+    std::unordered_map<TruthTable, std::optional<LogicNetwork>, TruthTableHash> cache_;
+    std::size_t failures_{0};
+};
+
+/// Number of two-input gates in a network (inverters/buffers not counted).
+[[nodiscard]] std::size_t count_two_input_gates(const LogicNetwork& network);
+
+}  // namespace bestagon::logic

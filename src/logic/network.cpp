@@ -1,0 +1,342 @@
+#include "logic/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bestagon::logic
+{
+
+const char* gate_type_name(GateType t) noexcept
+{
+    switch (t)
+    {
+        case GateType::none: return "none";
+        case GateType::const0: return "const0";
+        case GateType::const1: return "const1";
+        case GateType::pi: return "pi";
+        case GateType::po: return "po";
+        case GateType::buf: return "buf";
+        case GateType::inv: return "inv";
+        case GateType::and2: return "and";
+        case GateType::or2: return "or";
+        case GateType::nand2: return "nand";
+        case GateType::nor2: return "nor";
+        case GateType::xor2: return "xor";
+        case GateType::xnor2: return "xnor";
+        case GateType::maj3: return "maj";
+        case GateType::fanout: return "fanout";
+    }
+    return "?";
+}
+
+bool evaluate_gate(GateType t, const std::array<bool, 3>& ins) noexcept
+{
+    switch (t)
+    {
+        case GateType::const0: return false;
+        case GateType::const1: return true;
+        case GateType::po:
+        case GateType::buf:
+        case GateType::fanout: return ins[0];
+        case GateType::inv: return !ins[0];
+        case GateType::and2: return ins[0] && ins[1];
+        case GateType::or2: return ins[0] || ins[1];
+        case GateType::nand2: return !(ins[0] && ins[1]);
+        case GateType::nor2: return !(ins[0] || ins[1]);
+        case GateType::xor2: return ins[0] != ins[1];
+        case GateType::xnor2: return ins[0] == ins[1];
+        case GateType::maj3: return (ins[0] && ins[1]) || (ins[0] && ins[2]) || (ins[1] && ins[2]);
+        case GateType::none:
+        case GateType::pi: break;
+    }
+    return false;
+}
+
+LogicNetwork::NodeId LogicNetwork::add_node(Node n)
+{
+    const auto id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::move(n));
+    return id;
+}
+
+LogicNetwork::NodeId LogicNetwork::create_pi(std::string name)
+{
+    Node n;
+    n.type = GateType::pi;
+    n.name = std::move(name);
+    const auto id = add_node(std::move(n));
+    pis_.push_back(id);
+    return id;
+}
+
+LogicNetwork::NodeId LogicNetwork::create_po(NodeId driver, std::string name)
+{
+    assert(driver < nodes_.size());
+    Node n;
+    n.type = GateType::po;
+    n.fanin[0] = driver;
+    n.name = std::move(name);
+    const auto id = add_node(std::move(n));
+    pos_.push_back(id);
+    return id;
+}
+
+LogicNetwork::NodeId LogicNetwork::create_const(bool value)
+{
+    auto& cache = value ? const1_ : const0_;
+    if (!cache)
+    {
+        Node n;
+        n.type = value ? GateType::const1 : GateType::const0;
+        cache = add_node(std::move(n));
+    }
+    return *cache;
+}
+
+LogicNetwork::NodeId LogicNetwork::create_gate(GateType type, const std::vector<NodeId>& fanins)
+{
+    if (fanins.size() != gate_arity(type))
+    {
+        throw std::invalid_argument{"create_gate: wrong number of fanins"};
+    }
+    Node n;
+    n.type = type;
+    for (std::size_t i = 0; i < fanins.size(); ++i)
+    {
+        assert(fanins[i] < nodes_.size());
+        n.fanin[i] = fanins[i];
+    }
+    return add_node(std::move(n));
+}
+
+LogicNetwork::NodeId LogicNetwork::create_buf(NodeId a) { return create_gate(GateType::buf, {a}); }
+LogicNetwork::NodeId LogicNetwork::create_not(NodeId a) { return create_gate(GateType::inv, {a}); }
+LogicNetwork::NodeId LogicNetwork::create_and(NodeId a, NodeId b) { return create_gate(GateType::and2, {a, b}); }
+LogicNetwork::NodeId LogicNetwork::create_or(NodeId a, NodeId b) { return create_gate(GateType::or2, {a, b}); }
+LogicNetwork::NodeId LogicNetwork::create_nand(NodeId a, NodeId b) { return create_gate(GateType::nand2, {a, b}); }
+LogicNetwork::NodeId LogicNetwork::create_nor(NodeId a, NodeId b) { return create_gate(GateType::nor2, {a, b}); }
+LogicNetwork::NodeId LogicNetwork::create_xor(NodeId a, NodeId b) { return create_gate(GateType::xor2, {a, b}); }
+LogicNetwork::NodeId LogicNetwork::create_xnor(NodeId a, NodeId b) { return create_gate(GateType::xnor2, {a, b}); }
+LogicNetwork::NodeId LogicNetwork::create_maj(NodeId a, NodeId b, NodeId c)
+{
+    return create_gate(GateType::maj3, {a, b, c});
+}
+LogicNetwork::NodeId LogicNetwork::create_fanout(NodeId a) { return create_gate(GateType::fanout, {a}); }
+
+std::size_t LogicNetwork::num_gates() const
+{
+    std::size_t count = 0;
+    for (const auto& n : nodes_)
+    {
+        switch (n.type)
+        {
+            case GateType::none:
+            case GateType::const0:
+            case GateType::const1:
+            case GateType::pi:
+            case GateType::po: break;
+            default: ++count;
+        }
+    }
+    return count;
+}
+
+std::size_t LogicNetwork::num_gates_of(GateType t) const
+{
+    std::size_t count = 0;
+    for (const auto& n : nodes_)
+    {
+        if (n.type == t)
+        {
+            ++count;
+        }
+    }
+    return count;
+}
+
+std::vector<unsigned> LogicNetwork::fanout_counts() const
+{
+    std::vector<unsigned> counts(nodes_.size(), 0);
+    for (const auto& n : nodes_)
+    {
+        const unsigned arity = gate_arity(n.type);
+        for (unsigned i = 0; i < arity; ++i)
+        {
+            ++counts[n.fanin[i]];
+        }
+    }
+    return counts;
+}
+
+std::vector<LogicNetwork::NodeId> LogicNetwork::topological_order() const
+{
+    // nodes are created in topological order by construction; filter deleted
+    std::vector<NodeId> order;
+    order.reserve(nodes_.size());
+    for (NodeId id = 0; id < nodes_.size(); ++id)
+    {
+        if (nodes_[id].type != GateType::none)
+        {
+            order.push_back(id);
+        }
+    }
+    return order;
+}
+
+unsigned LogicNetwork::depth() const
+{
+    std::vector<unsigned> level(nodes_.size(), 0);
+    unsigned max_level = 0;
+    for (const auto id : topological_order())
+    {
+        const auto& n = nodes_[id];
+        const unsigned arity = gate_arity(n.type);
+        unsigned in_level = 0;
+        for (unsigned i = 0; i < arity; ++i)
+        {
+            in_level = std::max(in_level, level[n.fanin[i]]);
+        }
+        switch (n.type)
+        {
+            case GateType::pi:
+            case GateType::const0:
+            case GateType::const1: level[id] = 0; break;
+            case GateType::po: level[id] = in_level; break;
+            default: level[id] = in_level + 1;
+        }
+        max_level = std::max(max_level, level[id]);
+    }
+    return max_level;
+}
+
+std::vector<TruthTable> LogicNetwork::simulate() const
+{
+    if (num_pis() > 16)
+    {
+        throw std::invalid_argument{"simulate: too many primary inputs"};
+    }
+    std::vector<TruthTable> values(nodes_.size(), TruthTable{num_pis()});
+    unsigned pi_index = 0;
+    for (const auto id : topological_order())
+    {
+        const auto& n = nodes_[id];
+        switch (n.type)
+        {
+            case GateType::pi: values[id] = TruthTable::nth_var(num_pis(), pi_index++); break;
+            case GateType::const0: values[id] = TruthTable::constant(num_pis(), false); break;
+            case GateType::const1: values[id] = TruthTable::constant(num_pis(), true); break;
+            case GateType::po:
+            case GateType::buf:
+            case GateType::fanout: values[id] = values[n.fanin[0]]; break;
+            case GateType::inv: values[id] = ~values[n.fanin[0]]; break;
+            case GateType::and2: values[id] = values[n.fanin[0]] & values[n.fanin[1]]; break;
+            case GateType::or2: values[id] = values[n.fanin[0]] | values[n.fanin[1]]; break;
+            case GateType::nand2: values[id] = ~(values[n.fanin[0]] & values[n.fanin[1]]); break;
+            case GateType::nor2: values[id] = ~(values[n.fanin[0]] | values[n.fanin[1]]); break;
+            case GateType::xor2: values[id] = values[n.fanin[0]] ^ values[n.fanin[1]]; break;
+            case GateType::xnor2: values[id] = ~(values[n.fanin[0]] ^ values[n.fanin[1]]); break;
+            case GateType::maj3:
+                values[id] = (values[n.fanin[0]] & values[n.fanin[1]]) |
+                             (values[n.fanin[0]] & values[n.fanin[2]]) |
+                             (values[n.fanin[1]] & values[n.fanin[2]]);
+                break;
+            case GateType::none: break;
+        }
+    }
+    std::vector<TruthTable> result;
+    result.reserve(pos_.size());
+    for (const auto po : pos_)
+    {
+        result.push_back(values[po]);
+    }
+    return result;
+}
+
+std::vector<bool> LogicNetwork::simulate_pattern(std::uint64_t pattern) const
+{
+    std::vector<bool> values(nodes_.size(), false);
+    unsigned pi_index = 0;
+    for (const auto id : topological_order())
+    {
+        const auto& n = nodes_[id];
+        if (n.type == GateType::pi)
+        {
+            values[id] = ((pattern >> pi_index++) & 1ULL) != 0;
+            continue;
+        }
+        const std::array<bool, 3> ins{values[n.fanin[0]], values[n.fanin[1]], values[n.fanin[2]]};
+        values[id] = evaluate_gate(n.type, ins);
+    }
+    std::vector<bool> result;
+    result.reserve(pos_.size());
+    for (const auto po : pos_)
+    {
+        result.push_back(values[po]);
+    }
+    return result;
+}
+
+bool LogicNetwork::is_xag() const
+{
+    for (const auto& n : nodes_)
+    {
+        switch (n.type)
+        {
+            case GateType::none:
+            case GateType::const0:
+            case GateType::const1:
+            case GateType::pi:
+            case GateType::po:
+            case GateType::buf:
+            case GateType::inv:
+            case GateType::and2:
+            case GateType::xor2: break;
+            default: return false;
+        }
+    }
+    return true;
+}
+
+bool LogicNetwork::is_bestagon_compliant(std::string* why) const
+{
+    const auto fanouts = fanout_counts();
+    for (NodeId id = 0; id < nodes_.size(); ++id)
+    {
+        const auto& n = nodes_[id];
+        switch (n.type)
+        {
+            case GateType::maj3:
+                if (why != nullptr)
+                {
+                    *why = "majority gates are not part of the Bestagon library";
+                }
+                return false;
+            case GateType::none: continue;
+            default: break;
+        }
+        const unsigned allowed = (n.type == GateType::fanout) ? 2U : 1U;
+        if (fanouts[id] > allowed)
+        {
+            if (why != nullptr)
+            {
+                *why = std::string{"node of type "} + gate_type_name(n.type) + " has fan-out " +
+                       std::to_string(fanouts[id]) + " > " + std::to_string(allowed);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+bool functionally_equivalent(const LogicNetwork& a, const LogicNetwork& b)
+{
+    if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos())
+    {
+        return false;
+    }
+    const auto fa = a.simulate();
+    const auto fb = b.simulate();
+    return fa == fb;
+}
+
+}  // namespace bestagon::logic

@@ -1,0 +1,164 @@
+/// \file network.hpp
+/// \brief Gate-level logic networks: XOR-AND-inverter graphs (XAGs) and
+///        technology-mapped networks over the Bestagon gate set.
+///
+/// A network is a DAG of typed nodes. Primary inputs and outputs are explicit
+/// nodes; inverters are explicit (no complemented edges), which keeps the
+/// physical-design encodings straightforward — every node eventually occupies
+/// a hexagonal tile.
+
+#pragma once
+
+#include "logic/truth_table.hpp"
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bestagon::logic
+{
+
+/// Node/gate types. The Bestagon library supports all two-input gates below
+/// plus inverters, buffers (wire tiles) and fan-outs.
+enum class GateType : std::uint8_t
+{
+    none,    ///< unused / deleted node
+    const0,  ///< constant 0
+    const1,  ///< constant 1
+    pi,      ///< primary input
+    po,      ///< primary output (single fanin)
+    buf,     ///< buffer / wire
+    inv,     ///< inverter
+    and2,
+    or2,
+    nand2,
+    nor2,
+    xor2,
+    xnor2,
+    maj3,    ///< majority-of-three (not in the Bestagon library; logic-level only)
+    fanout,  ///< explicit 1-to-2 fan-out (a Bestagon tile)
+};
+
+/// Number of fanins a gate of the given type takes.
+[[nodiscard]] constexpr unsigned gate_arity(GateType t) noexcept
+{
+    switch (t)
+    {
+        case GateType::none:
+        case GateType::const0:
+        case GateType::const1:
+        case GateType::pi: return 0;
+        case GateType::po:
+        case GateType::buf:
+        case GateType::inv:
+        case GateType::fanout: return 1;
+        case GateType::and2:
+        case GateType::or2:
+        case GateType::nand2:
+        case GateType::nor2:
+        case GateType::xor2:
+        case GateType::xnor2: return 2;
+        case GateType::maj3: return 3;
+    }
+    return 0;
+}
+
+/// Human-readable gate-type name.
+[[nodiscard]] const char* gate_type_name(GateType t) noexcept;
+
+/// Evaluates a gate over Boolean fanin values.
+[[nodiscard]] bool evaluate_gate(GateType t, const std::array<bool, 3>& ins) noexcept;
+
+/// A logic network node.
+struct Node
+{
+    GateType type{GateType::none};
+    std::array<std::uint32_t, 3> fanin{{0, 0, 0}};
+    std::string name;  ///< optional PI/PO name
+};
+
+/// A DAG of typed logic nodes with explicit PI/PO nodes.
+class LogicNetwork
+{
+  public:
+    using NodeId = std::uint32_t;
+    static constexpr NodeId invalid_node = 0xffffffffU;
+
+    LogicNetwork() = default;
+
+    // construction -----------------------------------------------------------
+    NodeId create_pi(std::string name = {});
+    NodeId create_po(NodeId driver, std::string name = {});
+    NodeId create_const(bool value);
+    NodeId create_buf(NodeId a);
+    NodeId create_not(NodeId a);
+    NodeId create_and(NodeId a, NodeId b);
+    NodeId create_or(NodeId a, NodeId b);
+    NodeId create_nand(NodeId a, NodeId b);
+    NodeId create_nor(NodeId a, NodeId b);
+    NodeId create_xor(NodeId a, NodeId b);
+    NodeId create_xnor(NodeId a, NodeId b);
+    NodeId create_maj(NodeId a, NodeId b, NodeId c);
+    NodeId create_fanout(NodeId a);
+    NodeId create_gate(GateType type, const std::vector<NodeId>& fanins);
+
+    // access ------------------------------------------------------------------
+    [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+    [[nodiscard]] const Node& node(NodeId id) const { return nodes_[id]; }
+    [[nodiscard]] GateType type_of(NodeId id) const { return nodes_[id].type; }
+    [[nodiscard]] const std::vector<NodeId>& pis() const noexcept { return pis_; }
+    [[nodiscard]] const std::vector<NodeId>& pos() const noexcept { return pos_; }
+    [[nodiscard]] unsigned num_pis() const noexcept { return static_cast<unsigned>(pis_.size()); }
+    [[nodiscard]] unsigned num_pos() const noexcept { return static_cast<unsigned>(pos_.size()); }
+
+    /// Number of logic gates (excludes PI, PO, const and deleted nodes;
+    /// includes buf/inv/fanout).
+    [[nodiscard]] std::size_t num_gates() const;
+
+    /// Number of two-input logic gates (the XAG "size" metric counts
+    /// AND/XOR-class nodes).
+    [[nodiscard]] std::size_t num_gates_of(GateType t) const;
+
+    /// Fan-out count per node.
+    [[nodiscard]] std::vector<unsigned> fanout_counts() const;
+
+    /// Nodes in topological order (PIs/constants first, POs last).
+    [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+    /// Logic depth: longest PI->PO path counted in logic gates
+    /// (buf and fanout count as 1 level; PO does not).
+    [[nodiscard]] unsigned depth() const;
+
+    // simulation --------------------------------------------------------------
+    /// Simulates all POs as truth tables over the PIs (num_pis() <= 16).
+    [[nodiscard]] std::vector<TruthTable> simulate() const;
+
+    /// Simulates all POs for one input pattern; bit i of \p pattern is PI i.
+    [[nodiscard]] std::vector<bool> simulate_pattern(std::uint64_t pattern) const;
+
+    // predicates ---------------------------------------------------------------
+    /// True if every logic node is in {buf, inv, and2, xor2} (an XAG).
+    [[nodiscard]] bool is_xag() const;
+
+    /// True if the network obeys the structural rules needed for Bestagon
+    /// physical design: gate types restricted to the library, every node's
+    /// fan-out is <= 1 except fanout nodes (<= 2).
+    [[nodiscard]] bool is_bestagon_compliant(std::string* why = nullptr) const;
+
+  private:
+    NodeId add_node(Node n);
+
+    std::vector<Node> nodes_;
+    std::vector<NodeId> pis_;
+    std::vector<NodeId> pos_;
+    std::optional<NodeId> const0_;
+    std::optional<NodeId> const1_;
+};
+
+/// Functional equivalence of two networks via exhaustive simulation
+/// (requires the same number of PIs <= 16 and POs).
+[[nodiscard]] bool functionally_equivalent(const LogicNetwork& a, const LogicNetwork& b);
+
+}  // namespace bestagon::logic

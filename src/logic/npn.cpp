@@ -1,0 +1,91 @@
+#include "logic/npn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace bestagon::logic
+{
+
+TruthTable apply_npn_transform(const TruthTable& g, const NpnTransform& t)
+{
+    const unsigned n = g.num_vars();
+    assert(t.perm.size() == n);
+    TruthTable f{n};
+    for (std::uint64_t x = 0; x < f.num_bits(); ++x)
+    {
+        // y_i = x_{perm[i]} ^ flip_i
+        std::uint64_t y = 0;
+        for (unsigned i = 0; i < n; ++i)
+        {
+            const bool xi = ((x >> t.perm[i]) & 1ULL) != 0;
+            const bool flip = ((t.input_flips >> i) & 1U) != 0;
+            if (xi != flip)
+            {
+                y |= 1ULL << i;
+            }
+        }
+        f.set_bit(x, g.get_bit(y) != t.output_negated);
+    }
+    return f;
+}
+
+NpnCanonization canonize_npn(const TruthTable& f)
+{
+    const unsigned n = f.num_vars();
+    if (n > 4)
+    {
+        throw std::invalid_argument{"canonize_npn: supports at most 4 variables"};
+    }
+
+    std::vector<unsigned> perm(n);
+    std::iota(perm.begin(), perm.end(), 0U);
+
+    bool first = true;
+    TruthTable best{n};
+    NpnTransform best_inverse{};  // transform applied to f to obtain best
+
+    // enumerate candidate = transform(f) over all (perm, flips, out); keep min
+    std::vector<unsigned> p = perm;
+    do
+    {
+        for (unsigned flips = 0; flips < (1U << n); ++flips)
+        {
+            for (unsigned out = 0; out < 2; ++out)
+            {
+                NpnTransform t;
+                t.perm = p;
+                t.input_flips = flips;
+                t.output_negated = out != 0;
+                const auto candidate = apply_npn_transform(f, t);
+                if (first || candidate.compare(best) < 0)
+                {
+                    first = false;
+                    best = candidate;
+                    best_inverse = t;
+                }
+            }
+        }
+    } while (std::next_permutation(p.begin(), p.end()));
+
+    // We found T with best = T(f); we must return T' with f = T'(best).
+    // For candidate(x) = f(y) ^ o with y_i = x_{perm[i]} ^ flip_i, the inverse
+    // transform T' has perm'[perm[i]] = i, flip'_{perm[i]} = flip_i, out' = o.
+    NpnTransform inverse;
+    inverse.perm.resize(n);
+    inverse.input_flips = 0;
+    for (unsigned i = 0; i < n; ++i)
+    {
+        inverse.perm[best_inverse.perm[i]] = i;
+        if ((best_inverse.input_flips >> i) & 1U)
+        {
+            inverse.input_flips |= 1U << best_inverse.perm[i];
+        }
+    }
+    inverse.output_negated = best_inverse.output_negated;
+
+    return NpnCanonization{best, inverse};
+}
+
+}  // namespace bestagon::logic

@@ -1,0 +1,34 @@
+/// \file rewriting.hpp
+/// \brief Cut-based logic rewriting with an exact NPN database (flow step 2),
+///        plus structural hashing and dead-node sweeping.
+
+#pragma once
+
+#include "logic/exact_synthesis.hpp"
+#include "logic/network.hpp"
+
+namespace bestagon::logic
+{
+
+/// Removes nodes unreachable from the POs; preserves PI/PO order and names.
+[[nodiscard]] LogicNetwork sweep(const LogicNetwork& network);
+
+/// Structural hashing: deduplicates identical gates, folds constants,
+/// collapses inverter pairs and buffers. Functionally equivalent rebuild.
+[[nodiscard]] LogicNetwork strash(const LogicNetwork& network);
+
+struct RewriteStats
+{
+    std::size_t gates_before{0};
+    std::size_t gates_after{0};
+    std::size_t replacements{0};
+    std::size_t passes{0};
+};
+
+/// Cut-based rewriting: repeatedly replaces the cone of some node by an
+/// optimal implementation from the exact NPN database while the total gate
+/// count shrinks. Returns a functionally equivalent network.
+[[nodiscard]] LogicNetwork rewrite(const LogicNetwork& network, NpnDatabase& database,
+                                   RewriteStats* stats = nullptr);
+
+}  // namespace bestagon::logic

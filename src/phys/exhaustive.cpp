@@ -1,0 +1,142 @@
+#include "phys/exhaustive.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace bestagon::phys
+{
+
+namespace
+{
+
+struct SearchState
+{
+    const SiDBSystem* system;
+    double mu;
+    std::size_t n;
+    ChargeConfig config;              // current partial assignment (prefix assigned)
+    std::vector<double> local_v;      // v_i from assigned negative charges
+    double partial_f;                 // F of assigned prefix
+    double best_f;
+    ChargeConfig best_config;
+    std::uint64_t degeneracy;
+    double tolerance;
+};
+
+void recurse(SearchState& s, std::size_t index)
+{
+    if (index == s.n)
+    {
+        if (s.partial_f <= s.best_f + s.tolerance)
+        {
+            if (s.system->physically_valid(s.config))
+            {
+                if (s.partial_f < s.best_f - s.tolerance)
+                {
+                    s.best_f = s.partial_f;
+                    s.best_config = s.config;
+                    s.degeneracy = 1;
+                }
+                else
+                {
+                    ++s.degeneracy;
+                }
+            }
+        }
+        return;
+    }
+
+    // optimistic completion bound over unassigned sites
+    double bound = s.partial_f;
+    for (std::size_t i = index; i < s.n; ++i)
+    {
+        bound += std::min(0.0, s.mu + s.local_v[i]);
+    }
+    if (bound > s.best_f + s.tolerance)
+    {
+        return;
+    }
+
+    // branch: negative first (mu < 0 favors charging)
+    {
+        // prune: an already-negative site that violates mu + v <= 0 against the
+        // *partial* potential can never recover (v only grows)
+        const double delta = s.mu + s.local_v[index];
+        s.config[index] = 1;
+        s.partial_f += delta;
+        for (std::size_t j = 0; j < s.n; ++j)
+        {
+            if (j != index)
+            {
+                s.local_v[j] += s.system->potential(index, j);
+            }
+        }
+        // check partial population stability of assigned negative sites
+        bool viable = true;
+        for (std::size_t j = 0; j <= index; ++j)
+        {
+            if (s.config[j] != 0 && s.mu + s.local_v[j] > 1e-12)
+            {
+                viable = false;
+                break;
+            }
+        }
+        if (viable)
+        {
+            recurse(s, index + 1);
+        }
+        for (std::size_t j = 0; j < s.n; ++j)
+        {
+            if (j != index)
+            {
+                s.local_v[j] -= s.system->potential(index, j);
+            }
+        }
+        s.partial_f -= delta;
+        s.config[index] = 0;
+    }
+
+    // branch: neutral
+    recurse(s, index + 1);
+}
+
+}  // namespace
+
+GroundStateResult exhaustive_ground_state(const SiDBSystem& system, double degeneracy_tolerance)
+{
+    const std::size_t n = system.size();
+    SearchState s{};
+    s.system = &system;
+    s.mu = system.parameters().mu_minus;
+    s.n = n;
+    s.config.assign(n, 0);
+    s.local_v.assign(n, 0.0);
+    s.partial_f = 0.0;
+    s.best_f = std::numeric_limits<double>::infinity();
+    s.degeneracy = 0;
+    s.tolerance = degeneracy_tolerance;
+
+    // seed with a quenched all-negative start for a good initial bound
+    ChargeConfig seed(n, 1);
+    system.quench(seed);
+    if (system.physically_valid(seed))
+    {
+        // bound only; the recursion re-encounters this config and counts it
+        s.best_f = system.grand_potential(seed);
+        s.best_config = seed;
+    }
+
+    recurse(s, 0);
+
+    GroundStateResult result;
+    result.config = s.best_config;
+    result.grand_potential = s.best_f;
+    result.electrostatic = s.best_config.empty() ? 0.0 : system.electrostatic_energy(s.best_config);
+    result.degeneracy = std::max<std::uint64_t>(1, s.degeneracy);
+    result.complete = true;
+    return result;
+}
+
+}  // namespace bestagon::phys

@@ -1,0 +1,26 @@
+/// \file exhaustive.hpp
+/// \brief Exhaustive (branch-and-bound) ground-state finder for SiDB charge
+///        systems — the reproduction of SiQAD's exact ground-state engine.
+
+#pragma once
+
+#include "phys/model.hpp"
+
+namespace bestagon::phys
+{
+
+/// Finds the configuration minimizing the grand potential F by a
+/// branch-and-bound search over all 2^N two-state configurations.
+///
+/// Pruning exploits the monotonicity of local potentials: (1) a partial
+/// configuration in which an already-negative site violates mu + v_i <= 0
+/// can never become population stable, and (2) the optimistic completion
+/// bound F_partial + sum_unassigned min(0, mu + v_i) never overestimates.
+///
+/// Practical up to roughly 40 sites for gate-sized structures.
+/// The returned result also counts degenerate near-ground configurations
+/// (within \p degeneracy_tolerance of the minimum).
+[[nodiscard]] GroundStateResult exhaustive_ground_state(const SiDBSystem& system,
+                                                        double degeneracy_tolerance = 1e-6);
+
+}  // namespace bestagon::phys

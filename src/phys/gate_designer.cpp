@@ -1,0 +1,137 @@
+#include "phys/gate_designer.hpp"
+
+#include <algorithm>
+#include <random>
+
+namespace bestagon::phys
+{
+
+namespace
+{
+
+/// Score of a candidate design: number of correct patterns, with partial
+/// credit for defined-but-wrong outputs over undefined ones.
+unsigned score_design(const GateDesign& design, const SimulationParameters& params)
+{
+    unsigned score = 0;
+    const unsigned patterns = 1U << design.num_inputs();
+    for (std::uint64_t p = 0; p < patterns; ++p)
+    {
+        const auto r = simulate_gate_pattern(design, p, params, Engine::exhaustive);
+        if (r.correct)
+        {
+            score += 2;
+        }
+        else if (std::none_of(r.output_states.begin(), r.output_states.end(),
+                              [](PairState s) { return s == PairState::undefined; }))
+        {
+            score += 1;  // defined but wrong: closer than undefined
+        }
+    }
+    return score;
+}
+
+}  // namespace
+
+std::optional<DesignerResult> design_gate(const GateDesign& skeleton,
+                                          const std::vector<SiDBSite>& candidates,
+                                          const DesignerOptions& options,
+                                          const SimulationParameters& params)
+{
+    std::mt19937_64 rng{options.seed};
+    const unsigned patterns = 1U << skeleton.num_inputs();
+    const unsigned perfect = 2 * patterns;
+
+    // exclude candidates that collide with skeleton sites, drivers or perturbers
+    std::vector<SiDBSite> forbidden = skeleton.sites;
+    for (const auto& drv : skeleton.drivers)
+    {
+        forbidden.push_back(drv.far_site);
+        forbidden.push_back(drv.near_site);
+    }
+    forbidden.insert(forbidden.end(), skeleton.output_perturbers.begin(), skeleton.output_perturbers.end());
+    std::vector<SiDBSite> usable;
+    usable.reserve(candidates.size());
+    for (const auto& c : candidates)
+    {
+        if (std::find(forbidden.begin(), forbidden.end(), c) == forbidden.end())
+        {
+            usable.push_back(c);
+        }
+    }
+    if (usable.empty())
+    {
+        return std::nullopt;
+    }
+
+    const auto make_design = [&](const std::vector<SiDBSite>& canvas) {
+        GateDesign d = skeleton;
+        d.sites.insert(d.sites.end(), canvas.begin(), canvas.end());
+        return d;
+    };
+
+    std::vector<SiDBSite> best_canvas;
+    unsigned best_score = 0;
+
+    for (unsigned iter = 0; iter < options.max_iterations; ++iter)
+    {
+        std::vector<SiDBSite> canvas;
+        if (iter % 4 != 0 && !best_canvas.empty())
+        {
+            // local move: mutate the best canvas found so far
+            canvas = best_canvas;
+            const unsigned move = rng() % 3;
+            if (move == 0 && canvas.size() > options.min_canvas_dots)
+            {
+                canvas.erase(canvas.begin() + static_cast<long>(rng() % canvas.size()));
+            }
+            else if (move == 1 && canvas.size() < options.max_canvas_dots)
+            {
+                canvas.push_back(usable[rng() % usable.size()]);
+            }
+            else if (!canvas.empty())
+            {
+                canvas[rng() % canvas.size()] = usable[rng() % usable.size()];
+            }
+        }
+        else
+        {
+            // fresh random subset
+            const unsigned k =
+                options.min_canvas_dots +
+                (options.max_canvas_dots > options.min_canvas_dots
+                     ? static_cast<unsigned>(rng() % (options.max_canvas_dots - options.min_canvas_dots + 1))
+                     : 0U);
+            for (unsigned i = 0; i < k; ++i)
+            {
+                canvas.push_back(usable[rng() % usable.size()]);
+            }
+        }
+        // drop duplicates
+        std::sort(canvas.begin(), canvas.end());
+        canvas.erase(std::unique(canvas.begin(), canvas.end()), canvas.end());
+        if (canvas.size() < options.min_canvas_dots)
+        {
+            continue;
+        }
+
+        const auto design = make_design(canvas);
+        const unsigned score = score_design(design, params);
+        if (score > best_score)
+        {
+            best_score = score;
+            best_canvas = canvas;
+        }
+        if (score == perfect)
+        {
+            DesignerResult result;
+            result.design = design;
+            result.canvas = canvas;
+            result.iterations_used = iter + 1;
+            return result;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace bestagon::phys

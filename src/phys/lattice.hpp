@@ -1,0 +1,57 @@
+/// \file lattice.hpp
+/// \brief The H-Si(100)-2x1 surface lattice hosting silicon dangling bonds.
+///
+/// SiDBs occupy hydrogen sites of the hydrogen-passivated silicon (100)
+/// surface with 2x1 dimer reconstruction. Following SiQAD, a site is
+/// addressed by (n, m, l): column n, dimer row m, and sublattice index
+/// l in {0, 1} selecting the upper/lower atom of the dimer pair.
+///
+/// Physical pitches: columns are 3.84 Å apart, dimer rows 7.68 Å, and the
+/// two atoms of a dimer pair are 2.25 Å apart. All positions in nanometers.
+
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+
+namespace bestagon::phys
+{
+
+/// Lattice pitch along x (between columns), in nm.
+inline constexpr double lattice_pitch_x = 0.384;
+/// Lattice pitch along y (between dimer rows), in nm.
+inline constexpr double lattice_pitch_y = 0.768;
+/// Intra-dimer distance along y, in nm.
+inline constexpr double dimer_pitch = 0.225;
+
+/// A dangling-bond site in SiQAD lattice coordinates.
+struct SiDBSite
+{
+    std::int32_t n{0};  ///< column index
+    std::int32_t m{0};  ///< dimer row index
+    std::int32_t l{0};  ///< sublattice index (0 or 1)
+
+    constexpr auto operator<=>(const SiDBSite&) const = default;
+
+    /// Physical x position in nm.
+    [[nodiscard]] constexpr double x() const noexcept { return n * lattice_pitch_x; }
+    /// Physical y position in nm.
+    [[nodiscard]] constexpr double y() const noexcept { return m * lattice_pitch_y + l * dimer_pitch; }
+
+    /// Translates the site by whole lattice vectors.
+    [[nodiscard]] constexpr SiDBSite translated(std::int32_t dn, std::int32_t dm) const noexcept
+    {
+        return SiDBSite{n + dn, m + dm, l};
+    }
+};
+
+/// Euclidean distance between two sites in nm.
+[[nodiscard]] inline double distance_nm(const SiDBSite& a, const SiDBSite& b)
+{
+    const double dx = a.x() - b.x();
+    const double dy = a.y() - b.y();
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace bestagon::phys

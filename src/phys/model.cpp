@@ -1,0 +1,170 @@
+#include "phys/model.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace bestagon::phys
+{
+
+namespace
+{
+/// Numerical tolerance shared by stability checks and quenching so that a
+/// quenched configuration is always physically valid.
+constexpr double stability_tolerance = 1e-9;
+}  // namespace
+
+double screened_coulomb(double r_nm, const SimulationParameters& params)
+{
+    assert(r_nm > 0.0);
+    return coulomb_k / (params.epsilon_r * r_nm) * std::exp(-r_nm / params.lambda_tf);
+}
+
+SiDBSystem::SiDBSystem(std::vector<SiDBSite> sites, const SimulationParameters& params)
+    : sites_{std::move(sites)}, params_{params}
+{
+    const std::size_t n = sites_.size();
+    potentials_.assign(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        for (std::size_t j = i + 1; j < n; ++j)
+        {
+            const double v = screened_coulomb(distance_nm(sites_[i], sites_[j]), params_);
+            potentials_[i * n + j] = v;
+            potentials_[j * n + i] = v;
+        }
+    }
+}
+
+double SiDBSystem::electrostatic_energy(const ChargeConfig& config) const
+{
+    assert(config.size() == sites_.size());
+    double energy = 0.0;
+    for (std::size_t i = 0; i < sites_.size(); ++i)
+    {
+        if (config[i] == 0)
+        {
+            continue;
+        }
+        for (std::size_t j = i + 1; j < sites_.size(); ++j)
+        {
+            if (config[j] != 0)
+            {
+                energy += potential(i, j);
+            }
+        }
+    }
+    return energy;
+}
+
+double SiDBSystem::grand_potential(const ChargeConfig& config) const
+{
+    double charges = 0.0;
+    for (const auto c : config)
+    {
+        charges += c;
+    }
+    return electrostatic_energy(config) + params_.mu_minus * charges;
+}
+
+double SiDBSystem::local_potential(const ChargeConfig& config, std::size_t i) const
+{
+    double v = 0.0;
+    for (std::size_t j = 0; j < sites_.size(); ++j)
+    {
+        if (j != i && config[j] != 0)
+        {
+            v += potential(i, j);
+        }
+    }
+    return v;
+}
+
+bool SiDBSystem::population_stable(const ChargeConfig& config) const
+{
+    for (std::size_t i = 0; i < sites_.size(); ++i)
+    {
+        const double level = params_.mu_minus + local_potential(config, i);
+        if (config[i] != 0 && level > stability_tolerance)
+        {
+            return false;  // negative site whose transition level is above E_F
+        }
+        if (config[i] == 0 && level < -stability_tolerance)
+        {
+            return false;  // neutral site that would rather hold an electron
+        }
+    }
+    return true;
+}
+
+bool SiDBSystem::configuration_stable(const ChargeConfig& config) const
+{
+    for (std::size_t i = 0; i < sites_.size(); ++i)
+    {
+        if (config[i] == 0)
+        {
+            continue;
+        }
+        const double vi = local_potential(config, i);
+        for (std::size_t j = 0; j < sites_.size(); ++j)
+        {
+            if (config[j] != 0 || j == i)
+            {
+                continue;
+            }
+            // hop i -> j: delta E = v_j - v_i - V_ij
+            const double delta = local_potential(config, j) - vi - potential(i, j);
+            if (delta < -stability_tolerance)
+            {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void SiDBSystem::quench(ChargeConfig& config) const
+{
+    const std::size_t n = sites_.size();
+    bool changed = true;
+    while (changed)
+    {
+        changed = false;
+        // single flips along the steepest descent of F
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            const double v = local_potential(config, i);
+            const double delta = config[i] == 0 ? (params_.mu_minus + v) : -(params_.mu_minus + v);
+            if (delta < -stability_tolerance)
+            {
+                config[i] ^= 1;
+                changed = true;
+            }
+        }
+        // single hops
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            if (config[i] == 0)
+            {
+                continue;
+            }
+            for (std::size_t j = 0; j < n; ++j)
+            {
+                if (config[j] != 0 || j == i)
+                {
+                    continue;
+                }
+                const double delta =
+                    local_potential(config, j) - local_potential(config, i) - potential(i, j);
+                if (delta < -stability_tolerance)
+                {
+                    config[i] = 0;
+                    config[j] = 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+}  // namespace bestagon::phys

@@ -1,0 +1,103 @@
+/// \file model.hpp
+/// \brief Electrostatic model of SiDB charge systems (SiQAD-calibrated).
+///
+/// SiDBs are treated as two-state quantum dots (neutral DB0 or negative
+/// DB-). Pairwise interaction is a Thomas-Fermi screened Coulomb potential
+///   V(r) = k / (eps_r * r) * exp(-r / lambda_tf)   [eV, r in nm]
+/// with k = e / (4 pi eps_0) = 1.43996 eV nm.
+///
+/// The grand potential of a charge configuration n (n_i in {0,1}) is
+///   F(n) = sum_{i<j} V_ij n_i n_j + mu_minus * sum_i n_i,
+/// where mu_minus = E(0/-) - E_F < 0 is the charge transition level of an
+/// isolated DB relative to the Fermi energy. A configuration is *physically
+/// valid* (metastable) if no single charge flip and no single electron hop
+/// lowers F; the *ground state* minimizes F. Stationarity of F under flips
+/// reproduces SiQAD's population-stability criterion (mu + v_i <=/>= 0).
+
+#pragma once
+
+#include "phys/lattice.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace bestagon::phys
+{
+
+/// Coulomb constant e / (4 pi eps_0) in eV nm.
+inline constexpr double coulomb_k = 1.43996448;
+
+/// Physical simulation parameters (defaults per the paper's Fig. 5).
+struct SimulationParameters
+{
+    double mu_minus{-0.32};   ///< (0/-) transition level relative to E_F, in eV
+    double epsilon_r{5.6};    ///< relative permittivity
+    double lambda_tf{5.0};    ///< Thomas-Fermi screening length, in nm
+};
+
+/// Screened Coulomb interaction energy of two negative charges at distance
+/// \p r_nm (in nm), in eV.
+[[nodiscard]] double screened_coulomb(double r_nm, const SimulationParameters& params);
+
+/// A charge configuration: one charge state per site (0 = DB0, 1 = DB-).
+using ChargeConfig = std::vector<std::uint8_t>;
+
+/// A fixed set of SiDB sites with precomputed pair potentials, supporting
+/// energy evaluation and stability checks of charge configurations.
+class SiDBSystem
+{
+  public:
+    SiDBSystem(std::vector<SiDBSite> sites, const SimulationParameters& params);
+
+    [[nodiscard]] std::size_t size() const noexcept { return sites_.size(); }
+    [[nodiscard]] const std::vector<SiDBSite>& sites() const noexcept { return sites_; }
+    [[nodiscard]] const SimulationParameters& parameters() const noexcept { return params_; }
+
+    /// Pairwise interaction V_ij in eV.
+    [[nodiscard]] double potential(std::size_t i, std::size_t j) const
+    {
+        return potentials_[i * sites_.size() + j];
+    }
+
+    /// Electrostatic energy sum_{i<j} V_ij n_i n_j, in eV.
+    [[nodiscard]] double electrostatic_energy(const ChargeConfig& config) const;
+
+    /// Grand potential F(n) = electrostatic energy + mu * (number of charges).
+    [[nodiscard]] double grand_potential(const ChargeConfig& config) const;
+
+    /// Local potential v_i = sum_{j != i} V_ij n_j, in eV.
+    [[nodiscard]] double local_potential(const ChargeConfig& config, std::size_t i) const;
+
+    /// SiQAD population stability: mu + v_i <= 0 for DB-, >= 0 for DB0.
+    [[nodiscard]] bool population_stable(const ChargeConfig& config) const;
+
+    /// No single electron hop from a DB- to a DB0 site lowers the energy.
+    [[nodiscard]] bool configuration_stable(const ChargeConfig& config) const;
+
+    /// Physically valid = population stable and configuration stable.
+    [[nodiscard]] bool physically_valid(const ChargeConfig& config) const
+    {
+        return population_stable(config) && configuration_stable(config);
+    }
+
+    /// Greedy descent to the nearest local minimum of F under single flips
+    /// and hops (mutates \p config). Guarantees physical validity on return.
+    void quench(ChargeConfig& config) const;
+
+  private:
+    std::vector<SiDBSite> sites_;
+    SimulationParameters params_;
+    std::vector<double> potentials_;  // row-major size() x size()
+};
+
+/// Result of a ground-state search.
+struct GroundStateResult
+{
+    ChargeConfig config;           ///< best configuration found
+    double grand_potential{0.0};   ///< F of that configuration
+    double electrostatic{0.0};     ///< electrostatic part, in eV
+    std::uint64_t degeneracy{1};   ///< number of configs within tolerance (exhaustive only)
+    bool complete{false};          ///< true if the search space was covered exhaustively
+};
+
+}  // namespace bestagon::phys

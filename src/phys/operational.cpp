@@ -1,0 +1,87 @@
+#include "phys/operational.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bestagon::phys
+{
+
+std::vector<SiDBSite> GateDesign::instance_sites(std::uint64_t pattern) const
+{
+    std::vector<SiDBSite> all = sites;
+    for (std::size_t i = 0; i < drivers.size(); ++i)
+    {
+        const bool one = ((pattern >> i) & 1ULL) != 0;
+        all.push_back(one ? drivers[i].near_site : drivers[i].far_site);
+    }
+    all.insert(all.end(), output_perturbers.begin(), output_perturbers.end());
+    return all;
+}
+
+PairState read_pair(const BDLPair& pair, const std::vector<SiDBSite>& sites, const ChargeConfig& config)
+{
+    const auto find_site = [&](const SiDBSite& s) -> int {
+        const auto it = std::find(sites.begin(), sites.end(), s);
+        return it == sites.end() ? -1 : static_cast<int>(it - sites.begin());
+    };
+    const int zi = find_site(pair.zero_site);
+    const int oi = find_site(pair.one_site);
+    assert(zi >= 0 && oi >= 0);
+    const bool z = config[static_cast<std::size_t>(zi)] != 0;
+    const bool o = config[static_cast<std::size_t>(oi)] != 0;
+    if (o && !z)
+    {
+        return PairState::one;
+    }
+    if (z && !o)
+    {
+        return PairState::zero;
+    }
+    return PairState::undefined;
+}
+
+PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t pattern,
+                                    const SimulationParameters& params, Engine engine)
+{
+    PatternResult result;
+    result.pattern = pattern;
+    result.sites = design.instance_sites(pattern);
+
+    const SiDBSystem system{result.sites, params};
+    result.ground_state = engine == Engine::exhaustive ? exhaustive_ground_state(system)
+                                                       : simulated_annealing(system);
+
+    result.correct = true;
+    for (std::size_t o = 0; o < design.output_pairs.size(); ++o)
+    {
+        const auto state = read_pair(design.output_pairs[o], result.sites, result.ground_state.config);
+        result.output_states.push_back(state);
+        const bool expected = design.functions[o].get_bit(pattern);
+        const auto expected_state = expected ? PairState::one : PairState::zero;
+        if (state != expected_state)
+        {
+            result.correct = false;
+        }
+    }
+    return result;
+}
+
+OperationalResult check_operational(const GateDesign& design, const SimulationParameters& params,
+                                    Engine engine)
+{
+    OperationalResult result;
+    result.patterns_total = 1U << design.num_inputs();
+    for (std::uint64_t pattern = 0; pattern < result.patterns_total; ++pattern)
+    {
+        auto pr = simulate_gate_pattern(design, pattern, params, engine);
+        if (pr.correct)
+        {
+            ++result.patterns_correct;
+        }
+        result.details.push_back(std::move(pr));
+    }
+    result.operational = result.patterns_correct == result.patterns_total;
+    return result;
+}
+
+}  // namespace bestagon::phys

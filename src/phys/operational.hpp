@@ -1,0 +1,110 @@
+/// \file operational.hpp
+/// \brief Operational checking of dot-accurate SiDB gate designs.
+///
+/// A gate design consists of permanent SiDBs (wire and canvas dots), input
+/// and output binary-dot-logic (BDL) pairs, input drivers and output
+/// perturbers. Following the paper's refined input methodology, an input
+/// perturber is present for BOTH logic states — at a *near* position for
+/// logic 1 and a *far* position for logic 0 — which models the Coulombic
+/// pressure of an upstream wire more faithfully than Huff et al.'s
+/// present/absent scheme and yields more robust gates.
+
+#pragma once
+
+#include "logic/truth_table.hpp"
+#include "phys/exhaustive.hpp"
+#include "phys/model.hpp"
+#include "phys/simanneal.hpp"
+
+#include <string>
+#include <vector>
+
+namespace bestagon::phys
+{
+
+/// A binary-dot-logic pair; the logic value is read from the position of the
+/// shared electron: on `one_site` it encodes 1, on `zero_site` it encodes 0.
+struct BDLPair
+{
+    SiDBSite zero_site;
+    SiDBSite one_site;
+};
+
+/// Input driver: a perturber SiDB placed far (logic 0) or near (logic 1).
+struct InputDriver
+{
+    SiDBSite far_site;
+    SiDBSite near_site;
+};
+
+/// A dot-accurate gate design on the H-Si(100)-2x1 surface.
+struct GateDesign
+{
+    std::string name;
+    std::vector<SiDBSite> sites;              ///< permanent SiDBs (incl. all pair sites)
+    std::vector<BDLPair> input_pairs;         ///< first BDL pair of each input wire
+    std::vector<BDLPair> output_pairs;        ///< last BDL pair of each output wire
+    std::vector<InputDriver> drivers;         ///< one per input
+    std::vector<SiDBSite> output_perturbers;  ///< emulate downstream wires
+    std::vector<logic::TruthTable> functions; ///< one per output, over the inputs
+
+    [[nodiscard]] unsigned num_inputs() const noexcept { return static_cast<unsigned>(drivers.size()); }
+    [[nodiscard]] unsigned num_outputs() const noexcept
+    {
+        return static_cast<unsigned>(output_pairs.size());
+    }
+
+    /// All sites of the simulation instance for one input pattern
+    /// (permanent sites + per-pattern perturbers + output perturbers).
+    [[nodiscard]] std::vector<SiDBSite> instance_sites(std::uint64_t pattern) const;
+};
+
+/// Ground-state engine selection.
+enum class Engine : std::uint8_t
+{
+    exhaustive,
+    simanneal
+};
+
+/// Logic readout of a BDL pair from a charge configuration.
+enum class PairState : std::uint8_t
+{
+    zero,
+    one,
+    undefined  ///< both or neither site charged: no valid logic value
+};
+
+/// Reads the state of \p pair given \p config over \p sites.
+[[nodiscard]] PairState read_pair(const BDLPair& pair, const std::vector<SiDBSite>& sites,
+                                  const ChargeConfig& config);
+
+/// Result of simulating a single input pattern.
+struct PatternResult
+{
+    std::uint64_t pattern{0};
+    GroundStateResult ground_state;
+    std::vector<SiDBSite> sites;          ///< simulated instance sites
+    std::vector<PairState> output_states; ///< readout per output
+    bool correct{false};
+};
+
+/// Simulates one input pattern of \p design and reads the outputs.
+[[nodiscard]] PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t pattern,
+                                                  const SimulationParameters& params,
+                                                  Engine engine = Engine::exhaustive);
+
+/// Result of a full operational check.
+struct OperationalResult
+{
+    bool operational{false};
+    unsigned patterns_correct{0};
+    unsigned patterns_total{0};
+    std::vector<PatternResult> details;
+};
+
+/// Checks all 2^num_inputs patterns of \p design against its functions.
+[[nodiscard]] OperationalResult check_operational(const GateDesign& design,
+                                                  const SimulationParameters& params,
+                                                  Engine engine = Engine::exhaustive);
+
+}  // namespace bestagon::phys

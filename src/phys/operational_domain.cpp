@@ -1,0 +1,67 @@
+#include "phys/operational_domain.hpp"
+
+namespace bestagon::phys
+{
+
+double OperationalDomain::coverage() const
+{
+    if (points.empty())
+    {
+        return 0.0;
+    }
+    std::size_t ok = 0;
+    for (const auto& p : points)
+    {
+        if (p.operational)
+        {
+            ++ok;
+        }
+    }
+    return static_cast<double>(ok) / static_cast<double>(points.size());
+}
+
+OperationalDomain compute_operational_domain(const GateDesign& design, const SimulationParameters& base,
+                                             const DomainSweep& sweep, Engine engine)
+{
+    OperationalDomain domain;
+    domain.sweep = sweep;
+
+    const auto x_at = [&](unsigned i) {
+        return sweep.x_steps <= 1
+                   ? sweep.x_min
+                   : sweep.x_min + (sweep.x_max - sweep.x_min) * i / (sweep.x_steps - 1);
+    };
+    const auto y_at = [&](unsigned j) {
+        return sweep.y_steps <= 1
+                   ? sweep.y_min
+                   : sweep.y_min + (sweep.y_max - sweep.y_min) * j / (sweep.y_steps - 1);
+    };
+
+    for (unsigned j = 0; j < sweep.y_steps; ++j)
+    {
+        for (unsigned i = 0; i < sweep.x_steps; ++i)
+        {
+            SimulationParameters params = base;
+            DomainPoint point;
+            point.x = x_at(i);
+            point.y = y_at(j);
+            if (sweep.axes == DomainAxes::epsilon_r_vs_lambda_tf)
+            {
+                params.epsilon_r = point.x;
+                params.lambda_tf = point.y;
+            }
+            else
+            {
+                params.mu_minus = point.x;
+                params.epsilon_r = point.y;
+            }
+            const auto result = check_operational(design, params, engine);
+            point.operational = result.operational;
+            point.patterns_correct = result.patterns_correct;
+            domain.points.push_back(point);
+        }
+    }
+    return domain;
+}
+
+}  // namespace bestagon::phys

@@ -1,0 +1,56 @@
+/// \file operational_domain.hpp
+/// \brief Operational-domain evaluation: sweep physical parameters and record
+///        where a gate design remains operational. This implements the
+///        "streamlined operational domain evaluation framework" listed as
+///        future work in the paper's conclusion.
+
+#pragma once
+
+#include "phys/operational.hpp"
+
+#include <vector>
+
+namespace bestagon::phys
+{
+
+/// Which two parameters span the domain grid.
+enum class DomainAxes : std::uint8_t
+{
+    epsilon_r_vs_lambda_tf,
+    mu_vs_epsilon_r
+};
+
+struct DomainSweep
+{
+    DomainAxes axes{DomainAxes::epsilon_r_vs_lambda_tf};
+    double x_min{1.0}, x_max{10.0};
+    unsigned x_steps{10};
+    double y_min{1.0}, y_max{10.0};
+    unsigned y_steps{10};
+};
+
+struct DomainPoint
+{
+    double x{0.0};
+    double y{0.0};
+    bool operational{false};
+    unsigned patterns_correct{0};
+};
+
+struct OperationalDomain
+{
+    DomainSweep sweep;
+    std::vector<DomainPoint> points;  ///< row-major, y outer
+
+    /// Fraction of grid points that are operational.
+    [[nodiscard]] double coverage() const;
+};
+
+/// Evaluates the operational domain of \p design on a grid. Parameters not
+/// spanned by the grid are taken from \p base.
+[[nodiscard]] OperationalDomain compute_operational_domain(const GateDesign& design,
+                                                           const SimulationParameters& base,
+                                                           const DomainSweep& sweep,
+                                                           Engine engine = Engine::exhaustive);
+
+}  // namespace bestagon::phys

@@ -1,0 +1,95 @@
+#include "phys/simanneal.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace bestagon::phys
+{
+
+GroundStateResult simulated_annealing(const SiDBSystem& system, const SimAnnealParameters& params)
+{
+    const std::size_t n = system.size();
+    GroundStateResult best;
+    best.grand_potential = std::numeric_limits<double>::infinity();
+    best.complete = false;
+    best.degeneracy = 1;
+
+    if (n == 0)
+    {
+        best.grand_potential = 0.0;
+        return best;
+    }
+
+    std::mt19937_64 rng{params.seed};
+    std::uniform_real_distribution<double> uni{0.0, 1.0};
+
+    for (unsigned instance = 0; instance < params.num_instances; ++instance)
+    {
+        // random initial population
+        ChargeConfig config(n, 0);
+        for (auto& c : config)
+        {
+            c = (rng() & 1) != 0 ? 1 : 0;
+        }
+        double f = system.grand_potential(config);
+        double temperature = params.initial_temperature;
+
+        for (unsigned step = 0; step < params.steps_per_instance; ++step)
+        {
+            // move: flip a random site, or hop a random electron
+            const bool do_hop = (rng() & 3U) == 0;  // 25% hops
+            double delta = 0.0;
+            std::size_t i = rng() % n;
+            std::size_t j = n;
+            if (do_hop && config[i] != 0)
+            {
+                j = rng() % n;
+                if (config[j] == 0 && j != i)
+                {
+                    delta = system.local_potential(config, j) - system.local_potential(config, i) -
+                            system.potential(i, j);
+                }
+                else
+                {
+                    j = n;  // invalid hop; fall through to flip
+                }
+            }
+            if (j == n)
+            {
+                const double v = system.local_potential(config, i);
+                delta = config[i] == 0 ? (system.parameters().mu_minus + v)
+                                       : -(system.parameters().mu_minus + v);
+            }
+
+            if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature))
+            {
+                if (j != n)
+                {
+                    config[i] = 0;
+                    config[j] = 1;
+                }
+                else
+                {
+                    config[i] ^= 1;
+                }
+                f += delta;
+            }
+            temperature *= params.cooling_rate;
+        }
+
+        system.quench(config);  // guarantees physical validity
+        f = system.grand_potential(config);
+        if (f < best.grand_potential)
+        {
+            best.grand_potential = f;
+            best.config = config;
+        }
+    }
+
+    best.electrostatic = system.electrostatic_energy(best.config);
+    return best;
+}
+
+}  // namespace bestagon::phys

@@ -1,0 +1,31 @@
+/// \file simanneal.hpp
+/// \brief Simulated-annealing ground-state finder — the reproduction of
+///        SiQAD's *SimAnneal* engine [30] used throughout the paper's
+///        gate validations (Figs. 1c and 5).
+
+#pragma once
+
+#include "phys/model.hpp"
+
+#include <cstdint>
+
+namespace bestagon::phys
+{
+
+/// Annealing schedule and effort parameters.
+struct SimAnnealParameters
+{
+    unsigned num_instances{16};      ///< independent annealing runs
+    unsigned steps_per_instance{4000};
+    double initial_temperature{0.5};  ///< in eV (kT units of the acceptance rule)
+    double cooling_rate{0.997};       ///< geometric cooling factor per step
+    std::uint64_t seed{0x5eed};
+};
+
+/// Runs simulated annealing on the grand potential F with single-flip and
+/// electron-hop moves, followed by a greedy quench of each instance. Returns
+/// the best physically valid configuration found (complete = false).
+[[nodiscard]] GroundStateResult simulated_annealing(const SiDBSystem& system,
+                                                    const SimAnnealParameters& params = {});
+
+}  // namespace bestagon::phys

@@ -1,0 +1,112 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bestagon::sat
+{
+
+Cnf read_dimacs(std::istream& in)
+{
+    Cnf cnf;
+    std::string line;
+    bool header_seen = false;
+    std::vector<int> current;
+    while (std::getline(in, line))
+    {
+        if (line.empty() || line[0] == 'c')
+        {
+            continue;
+        }
+        if (line[0] == 'p')
+        {
+            std::istringstream iss{line};
+            std::string p, fmt;
+            int nv = 0, nc = 0;
+            if (!(iss >> p >> fmt >> nv >> nc) || fmt != "cnf")
+            {
+                throw std::runtime_error{"dimacs: malformed problem line: " + line};
+            }
+            cnf.num_vars = nv;
+            header_seen = true;
+            continue;
+        }
+        std::istringstream iss{line};
+        int lit = 0;
+        while (iss >> lit)
+        {
+            if (lit == 0)
+            {
+                cnf.clauses.push_back(current);
+                current.clear();
+            }
+            else
+            {
+                if (std::abs(lit) > cnf.num_vars)
+                {
+                    cnf.num_vars = std::abs(lit);
+                }
+                current.push_back(lit);
+            }
+        }
+    }
+    if (!current.empty())
+    {
+        cnf.clauses.push_back(current);
+    }
+    if (!header_seen && cnf.clauses.empty())
+    {
+        throw std::runtime_error{"dimacs: no problem line and no clauses"};
+    }
+    return cnf;
+}
+
+Cnf read_dimacs(const std::string& text)
+{
+    std::istringstream iss{text};
+    return read_dimacs(iss);
+}
+
+void write_dimacs(std::ostream& out, const Cnf& cnf)
+{
+    out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+    for (const auto& clause : cnf.clauses)
+    {
+        for (const auto lit : clause)
+        {
+            out << lit << ' ';
+        }
+        out << "0\n";
+    }
+}
+
+bool load_into_solver(Solver& solver, const Cnf& cnf)
+{
+    while (solver.num_vars() < cnf.num_vars)
+    {
+        static_cast<void>(solver.new_var());
+    }
+    for (const auto& clause : cnf.clauses)
+    {
+        std::vector<Lit> lits;
+        lits.reserve(clause.size());
+        for (const auto l : clause)
+        {
+            const Var v = std::abs(l) - 1;
+            while (solver.num_vars() <= v)
+            {
+                static_cast<void>(solver.new_var());
+            }
+            lits.push_back(Lit{v, l < 0});
+        }
+        if (!solver.add_clause(std::move(lits)))
+        {
+            return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace bestagon::sat

@@ -1,0 +1,689 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+namespace bestagon::sat
+{
+
+namespace
+{
+
+[[nodiscard]] std::int64_t now_ms()
+{
+    using namespace std::chrono;
+    return duration_cast<milliseconds>(steady_clock::now().time_since_epoch()).count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// variable order heap
+// ---------------------------------------------------------------------------
+
+void Solver::VarOrderHeap::grow(Var v)
+{
+    while (static_cast<std::size_t>(v) >= indices.size())
+    {
+        indices.push_back(-1);
+    }
+}
+
+void Solver::VarOrderHeap::percolate_up(int i)
+{
+    const Var x = heap[static_cast<std::size_t>(i)];
+    int p = (i - 1) / 2;
+    while (i != 0 && less(x, heap[static_cast<std::size_t>(p)]))
+    {
+        heap[static_cast<std::size_t>(i)] = heap[static_cast<std::size_t>(p)];
+        indices[static_cast<std::size_t>(heap[static_cast<std::size_t>(i)])] = i;
+        i = p;
+        p = (p - 1) / 2;
+    }
+    heap[static_cast<std::size_t>(i)] = x;
+    indices[static_cast<std::size_t>(x)] = i;
+}
+
+void Solver::VarOrderHeap::percolate_down(int i)
+{
+    const Var x = heap[static_cast<std::size_t>(i)];
+    const int n = static_cast<int>(heap.size());
+    while (2 * i + 1 < n)
+    {
+        int child = 2 * i + 1;
+        if (child + 1 < n && less(heap[static_cast<std::size_t>(child + 1)], heap[static_cast<std::size_t>(child)]))
+        {
+            ++child;
+        }
+        if (!less(heap[static_cast<std::size_t>(child)], x))
+        {
+            break;
+        }
+        heap[static_cast<std::size_t>(i)] = heap[static_cast<std::size_t>(child)];
+        indices[static_cast<std::size_t>(heap[static_cast<std::size_t>(i)])] = i;
+        i = child;
+    }
+    heap[static_cast<std::size_t>(i)] = x;
+    indices[static_cast<std::size_t>(x)] = i;
+}
+
+void Solver::VarOrderHeap::insert(Var v)
+{
+    grow(v);
+    if (contains(v))
+    {
+        return;
+    }
+    indices[static_cast<std::size_t>(v)] = static_cast<int>(heap.size());
+    heap.push_back(v);
+    percolate_up(static_cast<int>(heap.size()) - 1);
+}
+
+Var Solver::VarOrderHeap::remove_max()
+{
+    const Var x = heap.front();
+    heap.front() = heap.back();
+    indices[static_cast<std::size_t>(heap.front())] = 0;
+    indices[static_cast<std::size_t>(x)] = -1;
+    heap.pop_back();
+    if (heap.size() > 1)
+    {
+        percolate_down(0);
+    }
+    return x;
+}
+
+void Solver::VarOrderHeap::update(Var v)
+{
+    if (contains(v))
+    {
+        percolate_up(indices[static_cast<std::size_t>(v)]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// solver
+// ---------------------------------------------------------------------------
+
+Solver::Solver()
+{
+    order_heap_.activity = &activity_;
+}
+
+Var Solver::new_var()
+{
+    const Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(LBool::undef);
+    polarity_.push_back(true);
+    activity_.push_back(0.0);
+    reason_.push_back(cref_undef);
+    level_.push_back(0);
+    seen_.push_back(0);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    order_heap_.insert(v);
+    return v;
+}
+
+Solver::CRef Solver::alloc_clause(std::vector<Lit> lits, bool learnt)
+{
+    const auto cr = static_cast<CRef>(clauses_.size());
+    Clause c;
+    c.lits = std::move(lits);
+    c.learnt = learnt;
+    clauses_.push_back(std::move(c));
+    return cr;
+}
+
+void Solver::attach_clause(CRef cr)
+{
+    const auto& c = clauses_[cr];
+    assert(c.lits.size() >= 2);
+    watches_[static_cast<std::size_t>((~c.lits[0]).x)].push_back({cr, c.lits[1]});
+    watches_[static_cast<std::size_t>((~c.lits[1]).x)].push_back({cr, c.lits[0]});
+}
+
+void Solver::remove_clause(CRef cr)
+{
+    clauses_[cr].deleted = true;  // watches are cleaned lazily during propagation
+    ++stats_.deleted_clauses;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits)
+{
+    if (!ok_)
+    {
+        return false;
+    }
+    assert(decision_level() == 0);
+
+    // simplify: sort, deduplicate, drop false literals, detect tautology
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    out.reserve(lits.size());
+    Lit prev = lit_undef;
+    for (const auto l : lits)
+    {
+        assert(l.var() >= 0 && l.var() < num_vars());
+        if (value(l) == LBool::true_ || l == ~prev)
+        {
+            return true;  // satisfied or tautological
+        }
+        if (value(l) != LBool::false_ && l != prev)
+        {
+            out.push_back(l);
+            prev = l;
+        }
+    }
+
+    if (out.empty())
+    {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1)
+    {
+        unchecked_enqueue(out[0], cref_undef);
+        ok_ = (propagate() == cref_undef);
+        return ok_;
+    }
+
+    const auto cr = alloc_clause(std::move(out), false);
+    problem_clauses_.push_back(cr);
+    ++num_problem_clauses_;
+    attach_clause(cr);
+    return true;
+}
+
+void Solver::unchecked_enqueue(Lit l, CRef from)
+{
+    assert(value(l) == LBool::undef);
+    assigns_[static_cast<std::size_t>(l.var())] = lbool_from(!l.sign());
+    reason_[static_cast<std::size_t>(l.var())] = from;
+    level_[static_cast<std::size_t>(l.var())] = decision_level();
+    trail_.push_back(l);
+}
+
+Solver::CRef Solver::propagate()
+{
+    CRef conflict = cref_undef;
+    while (qhead_ < trail_.size())
+    {
+        const Lit p = trail_[qhead_++];
+        ++stats_.propagations;
+        auto& ws = watches_[static_cast<std::size_t>(p.x)];
+
+        std::size_t i = 0;
+        std::size_t j = 0;
+        const std::size_t n = ws.size();
+        while (i < n)
+        {
+            const Watcher w = ws[i];
+            // fast path: blocker already true
+            if (value(w.blocker) == LBool::true_)
+            {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            Clause& c = clauses_[w.cref];
+            if (c.deleted)
+            {
+                ++i;  // drop watcher of a deleted clause
+                continue;
+            }
+            // make sure the false literal is lits[1]
+            const Lit false_lit = ~p;
+            if (c.lits[0] == false_lit)
+            {
+                std::swap(c.lits[0], c.lits[1]);
+            }
+            assert(c.lits[1] == false_lit);
+
+            const Lit first = c.lits[0];
+            if (value(first) == LBool::true_)
+            {
+                ws[j++] = {w.cref, first};
+                ++i;
+                continue;
+            }
+            // look for a new watch
+            bool found = false;
+            for (std::size_t k = 2; k < c.lits.size(); ++k)
+            {
+                if (value(c.lits[k]) != LBool::false_)
+                {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[static_cast<std::size_t>((~c.lits[1]).x)].push_back({w.cref, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+            {
+                ++i;
+                continue;
+            }
+            // clause is unit or conflicting
+            ws[j++] = {w.cref, first};
+            ++i;
+            if (value(first) == LBool::false_)
+            {
+                conflict = w.cref;
+                qhead_ = trail_.size();
+                // copy remaining watchers
+                while (i < n)
+                {
+                    ws[j++] = ws[i++];
+                }
+            }
+            else
+            {
+                unchecked_enqueue(first, w.cref);
+            }
+        }
+        ws.resize(j);
+        if (conflict != cref_undef)
+        {
+            break;
+        }
+    }
+    return conflict;
+}
+
+void Solver::cancel_until(int level)
+{
+    if (decision_level() <= level)
+    {
+        return;
+    }
+    const auto bound = static_cast<std::size_t>(trail_lim_[static_cast<std::size_t>(level)]);
+    for (std::size_t c = trail_.size(); c > bound; --c)
+    {
+        const Lit l = trail_[c - 1];
+        const Var v = l.var();
+        assigns_[static_cast<std::size_t>(v)] = LBool::undef;
+        polarity_[static_cast<std::size_t>(v)] = l.sign();
+        if (!order_heap_.contains(v))
+        {
+            order_heap_.insert(v);
+        }
+    }
+    trail_.resize(bound);
+    trail_lim_.resize(static_cast<std::size_t>(level));
+    qhead_ = trail_.size();
+}
+
+void Solver::var_bump_activity(Var v)
+{
+    auto& act = activity_[static_cast<std::size_t>(v)];
+    act += var_inc_;
+    if (act > 1e100)
+    {
+        for (auto& a : activity_)
+        {
+            a *= 1e-100;
+        }
+        var_inc_ *= 1e-100;
+    }
+    order_heap_.update(v);
+}
+
+void Solver::cla_bump_activity(Clause& c)
+{
+    c.activity += cla_inc_;
+    if (c.activity > 1e20)
+    {
+        for (const auto cr : learnts_)
+        {
+            clauses_[cr].activity *= 1e-20;
+        }
+        cla_inc_ *= 1e-20;
+    }
+}
+
+void Solver::analyze(CRef conflict, std::vector<Lit>& out_learnt, int& out_btlevel, std::uint32_t& out_lbd)
+{
+    int path_count = 0;
+    Lit p = lit_undef;
+    out_learnt.clear();
+    out_learnt.push_back(lit_undef);  // placeholder for the asserting literal
+    std::size_t index = trail_.size();
+
+    CRef cr = conflict;
+    do
+    {
+        assert(cr != cref_undef);
+        Clause& c = clauses_[cr];
+        if (c.learnt)
+        {
+            cla_bump_activity(c);
+        }
+        const std::size_t start = (p == lit_undef) ? 0 : 1;
+        for (std::size_t k = start; k < c.lits.size(); ++k)
+        {
+            const Lit q = c.lits[k];
+            const Var v = q.var();
+            if (seen_[static_cast<std::size_t>(v)] == 0 && level_[static_cast<std::size_t>(v)] > 0)
+            {
+                var_bump_activity(v);
+                seen_[static_cast<std::size_t>(v)] = 1;
+                if (level_[static_cast<std::size_t>(v)] >= decision_level())
+                {
+                    ++path_count;
+                }
+                else
+                {
+                    out_learnt.push_back(q);
+                }
+            }
+        }
+        // select next literal to look at
+        while (seen_[static_cast<std::size_t>(trail_[index - 1].var())] == 0)
+        {
+            --index;
+        }
+        --index;
+        p = trail_[index];
+        cr = reason_[static_cast<std::size_t>(p.var())];
+        seen_[static_cast<std::size_t>(p.var())] = 0;
+        --path_count;
+    } while (path_count > 0);
+    out_learnt[0] = ~p;
+
+    // minimization
+    analyze_toclear_.assign(out_learnt.begin(), out_learnt.end());
+    std::uint32_t abstract_levels = 0;
+    for (std::size_t k = 1; k < out_learnt.size(); ++k)
+    {
+        abstract_levels |= 1U << (static_cast<std::uint32_t>(level_[static_cast<std::size_t>(out_learnt[k].var())]) & 31U);
+    }
+    std::size_t keep = 1;
+    for (std::size_t k = 1; k < out_learnt.size(); ++k)
+    {
+        const Lit q = out_learnt[k];
+        if (reason_[static_cast<std::size_t>(q.var())] == cref_undef || !lit_redundant(q, abstract_levels))
+        {
+            out_learnt[keep++] = q;
+        }
+    }
+    out_learnt.resize(keep);
+
+    // find backtrack level
+    if (out_learnt.size() == 1)
+    {
+        out_btlevel = 0;
+    }
+    else
+    {
+        std::size_t max_i = 1;
+        for (std::size_t k = 2; k < out_learnt.size(); ++k)
+        {
+            if (level_[static_cast<std::size_t>(out_learnt[k].var())] >
+                level_[static_cast<std::size_t>(out_learnt[max_i].var())])
+            {
+                max_i = k;
+            }
+        }
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = level_[static_cast<std::size_t>(out_learnt[1].var())];
+    }
+
+    // LBD = number of distinct decision levels
+    std::vector<int> levels;
+    levels.reserve(out_learnt.size());
+    for (const auto l : out_learnt)
+    {
+        levels.push_back(level_[static_cast<std::size_t>(l.var())]);
+    }
+    std::sort(levels.begin(), levels.end());
+    out_lbd = static_cast<std::uint32_t>(std::unique(levels.begin(), levels.end()) - levels.begin());
+
+    for (const auto l : analyze_toclear_)
+    {
+        seen_[static_cast<std::size_t>(l.var())] = 0;
+    }
+}
+
+bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels)
+{
+    analyze_stack_.clear();
+    analyze_stack_.push_back(l);
+    const std::size_t top = analyze_toclear_.size();
+    while (!analyze_stack_.empty())
+    {
+        const Lit q = analyze_stack_.back();
+        analyze_stack_.pop_back();
+        const CRef cr = reason_[static_cast<std::size_t>(q.var())];
+        assert(cr != cref_undef);
+        const Clause& c = clauses_[cr];
+        for (std::size_t k = 1; k < c.lits.size(); ++k)
+        {
+            const Lit r = c.lits[k];
+            const Var v = r.var();
+            if (seen_[static_cast<std::size_t>(v)] != 0 || level_[static_cast<std::size_t>(v)] == 0)
+            {
+                continue;
+            }
+            const bool level_ok =
+                (abstract_levels & (1U << (static_cast<std::uint32_t>(level_[static_cast<std::size_t>(v)]) & 31U))) != 0;
+            if (reason_[static_cast<std::size_t>(v)] != cref_undef && level_ok)
+            {
+                seen_[static_cast<std::size_t>(v)] = 1;
+                analyze_stack_.push_back(r);
+                analyze_toclear_.push_back(r);
+            }
+            else
+            {
+                // abort: literal not redundant; undo marks made here
+                for (std::size_t j = analyze_toclear_.size(); j > top; --j)
+                {
+                    seen_[static_cast<std::size_t>(analyze_toclear_[j - 1].var())] = 0;
+                }
+                analyze_toclear_.resize(top);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+Lit Solver::pick_branch_lit()
+{
+    Var next = -1;
+    while (next == -1 || value(next) != LBool::undef)
+    {
+        if (order_heap_.empty())
+        {
+            return lit_undef;
+        }
+        next = order_heap_.remove_max();
+    }
+    return Lit{next, polarity_[static_cast<std::size_t>(next)]};
+}
+
+void Solver::reduce_db()
+{
+    // sort learnts by activity ascending; delete the weaker half
+    std::sort(learnts_.begin(), learnts_.end(),
+              [this](CRef a, CRef b) { return clauses_[a].activity < clauses_[b].activity; });
+
+    std::vector<CRef> kept;
+    kept.reserve(learnts_.size());
+    const std::size_t half = learnts_.size() / 2;
+    for (std::size_t i = 0; i < learnts_.size(); ++i)
+    {
+        const CRef cr = learnts_[i];
+        Clause& c = clauses_[cr];
+        const bool locked = !c.lits.empty() && value(c.lits[0]) == LBool::true_ &&
+                            reason_[static_cast<std::size_t>(c.lits[0].var())] == cr;
+        if (!locked && c.lits.size() > 2 && c.lbd > 2 && i < half)
+        {
+            remove_clause(cr);
+        }
+        else
+        {
+            kept.push_back(cr);
+        }
+    }
+    learnts_ = std::move(kept);
+}
+
+std::int64_t Solver::luby(std::int64_t i)
+{
+    // Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    ++i;  // 1-based position
+    for (;;)
+    {
+        std::int64_t k = 1;
+        while ((1LL << k) - 1 < i)
+        {
+            ++k;
+        }
+        if ((1LL << k) - 1 == i)
+        {
+            return 1LL << (k - 1);
+        }
+        i -= (1LL << (k - 1)) - 1;
+    }
+}
+
+bool Solver::budget_exhausted() const
+{
+    if (conflict_budget_ >= 0 &&
+        static_cast<std::int64_t>(stats_.conflicts - conflicts_at_solve_start_) >= conflict_budget_)
+    {
+        return true;
+    }
+    if (time_budget_ms_ >= 0 && (stats_.conflicts % 256 == 0) && now_ms() - solve_start_ms_ >= time_budget_ms_)
+    {
+        return true;
+    }
+    return false;
+}
+
+Result Solver::search(std::int64_t conflicts_allowed)
+{
+    std::int64_t conflicts_here = 0;
+    std::vector<Lit> learnt;
+    for (;;)
+    {
+        const CRef conflict = propagate();
+        if (conflict != cref_undef)
+        {
+            ++stats_.conflicts;
+            ++conflicts_here;
+            if (decision_level() == 0)
+            {
+                ok_ = false;
+                return Result::unsatisfiable;
+            }
+            int bt_level = 0;
+            std::uint32_t lbd = 0;
+            analyze(conflict, learnt, bt_level, lbd);
+            cancel_until(bt_level);
+            if (learnt.size() == 1)
+            {
+                unchecked_enqueue(learnt[0], cref_undef);
+            }
+            else
+            {
+                const CRef cr = alloc_clause(learnt, true);
+                clauses_[cr].lbd = lbd;
+                learnts_.push_back(cr);
+                attach_clause(cr);
+                cla_bump_activity(clauses_[cr]);
+                unchecked_enqueue(learnt[0], cr);
+                ++stats_.learnt_clauses;
+            }
+            var_decay_activity();
+            cla_decay_activity();
+            continue;
+        }
+
+        if (conflicts_allowed >= 0 && conflicts_here >= conflicts_allowed)
+        {
+            cancel_until(0);
+            return Result::unknown;  // restart
+        }
+        if (budget_exhausted())
+        {
+            cancel_until(0);
+            return Result::unknown;
+        }
+        if (static_cast<double>(learnts_.size()) >= max_learnts_ + static_cast<double>(trail_.size()))
+        {
+            reduce_db();
+        }
+
+        // extend with assumptions first
+        Lit next = lit_undef;
+        while (static_cast<std::size_t>(decision_level()) < assumptions_.size())
+        {
+            const Lit a = assumptions_[static_cast<std::size_t>(decision_level())];
+            if (value(a) == LBool::true_)
+            {
+                trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
+            }
+            else if (value(a) == LBool::false_)
+            {
+                return Result::unsatisfiable;  // conflicting assumption
+            }
+            else
+            {
+                next = a;
+                break;
+            }
+        }
+        if (next == lit_undef)
+        {
+            next = pick_branch_lit();
+            if (next == lit_undef)
+            {
+                return Result::satisfiable;  // all variables assigned
+            }
+            ++stats_.decisions;
+        }
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+        unchecked_enqueue(next, cref_undef);
+    }
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions)
+{
+    if (!ok_)
+    {
+        return Result::unsatisfiable;
+    }
+    assumptions_ = assumptions;
+    solve_start_ms_ = now_ms();
+    conflicts_at_solve_start_ = stats_.conflicts;
+    max_learnts_ = std::max(1000.0, static_cast<double>(num_problem_clauses_) * 0.4);
+
+    Result result = Result::unknown;
+    for (std::int64_t restarts = 0; result == Result::unknown; ++restarts)
+    {
+        const std::int64_t budget = luby(restarts) * 100;
+        result = search(budget);
+        if (result == Result::unknown)
+        {
+            ++stats_.restarts;
+            max_learnts_ *= 1.02;
+            if (budget_exhausted())
+            {
+                break;
+            }
+        }
+    }
+
+    if (result == Result::satisfiable)
+    {
+        model_.assign(assigns_.begin(), assigns_.end());
+    }
+    cancel_until(0);
+    assumptions_.clear();
+    return result;
+}
+
+}  // namespace bestagon::sat

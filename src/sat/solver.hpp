@@ -1,0 +1,244 @@
+/// \file solver.hpp
+/// \brief A conflict-driven clause-learning (CDCL) SAT solver.
+///
+/// This solver is the propositional reasoning substrate for the exact
+/// physical-design engine and the SAT-based equivalence checker. It follows
+/// the classic MiniSat architecture: two-literal watching with blockers,
+/// first-UIP clause learning with recursive minimization, VSIDS branching,
+/// phase saving, Luby restarts, and activity-based learnt-clause reduction.
+/// Incremental solving under assumptions is supported.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace bestagon::sat
+{
+
+/// Boolean variable, 0-based.
+using Var = std::int32_t;
+
+/// A literal encodes a variable and a polarity as 2*var + (negated ? 1 : 0).
+struct Lit
+{
+    std::int32_t x{-2};
+
+    constexpr Lit() = default;
+    constexpr Lit(Var v, bool negated) : x{2 * v + (negated ? 1 : 0)} {}
+
+    [[nodiscard]] constexpr Var var() const noexcept { return x >> 1; }
+    [[nodiscard]] constexpr bool sign() const noexcept { return (x & 1) != 0; }
+    [[nodiscard]] constexpr Lit operator~() const noexcept
+    {
+        Lit l{};
+        l.x = x ^ 1;
+        return l;
+    }
+    constexpr auto operator<=>(const Lit&) const = default;
+};
+
+/// Positive literal of variable \p v.
+[[nodiscard]] constexpr Lit pos(Var v) noexcept { return Lit{v, false}; }
+/// Negative literal of variable \p v.
+[[nodiscard]] constexpr Lit neg(Var v) noexcept { return Lit{v, true}; }
+
+inline constexpr Lit lit_undef{};
+
+/// Three-valued logic for assignments.
+enum class LBool : std::uint8_t
+{
+    false_,
+    true_,
+    undef
+};
+
+[[nodiscard]] constexpr LBool lbool_from(bool b) noexcept
+{
+    return b ? LBool::true_ : LBool::false_;
+}
+
+/// Outcome of a call to Solver::solve().
+enum class Result : std::uint8_t
+{
+    satisfiable,
+    unsatisfiable,
+    unknown  ///< resource budget exhausted
+};
+
+/// Runtime statistics of a solver instance.
+struct SolverStats
+{
+    std::uint64_t conflicts{0};
+    std::uint64_t decisions{0};
+    std::uint64_t propagations{0};
+    std::uint64_t restarts{0};
+    std::uint64_t learnt_clauses{0};
+    std::uint64_t deleted_clauses{0};
+};
+
+/// CDCL SAT solver with incremental assumption-based solving.
+class Solver
+{
+  public:
+    Solver();
+
+    /// Creates a fresh variable and returns it.
+    Var new_var();
+
+    /// Number of variables created so far.
+    [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(assigns_.size()); }
+
+    /// Number of problem (non-learnt) clauses currently held.
+    [[nodiscard]] std::size_t num_clauses() const noexcept { return num_problem_clauses_; }
+
+    /// Adds a clause (disjunction of literals). Returns false if the clause
+    /// makes the instance trivially unsatisfiable (e.g. empty after
+    /// simplification against top-level assignments).
+    bool add_clause(std::vector<Lit> lits);
+
+    /// Convenience overloads.
+    bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+    bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+    bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+
+    /// Solves the current formula under the given assumptions.
+    Result solve(const std::vector<Lit>& assumptions = {});
+
+    /// Model value of variable \p v after a satisfiable result.
+    [[nodiscard]] bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)] == LBool::true_; }
+
+    /// Model value of a literal after a satisfiable result.
+    [[nodiscard]] bool model_value(Lit l) const { return model_value(l.var()) != l.sign(); }
+
+    /// Limits the number of conflicts for the next solve() call
+    /// (< 0 disables the budget). Exceeding it yields Result::unknown.
+    void set_conflict_budget(std::int64_t budget) noexcept { conflict_budget_ = budget; }
+
+    /// Wall-clock budget in milliseconds for the next solve() call
+    /// (< 0 disables). Exceeding it yields Result::unknown.
+    void set_time_budget_ms(std::int64_t ms) noexcept { time_budget_ms_ = ms; }
+
+    [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
+
+    /// True once the formula was proven unsatisfiable without assumptions.
+    [[nodiscard]] bool in_conflicting_state() const noexcept { return !ok_; }
+
+  private:
+    using CRef = std::uint32_t;
+    static constexpr CRef cref_undef = std::numeric_limits<CRef>::max();
+
+    struct Clause
+    {
+        std::vector<Lit> lits;
+        double activity{0.0};
+        std::uint32_t lbd{0};
+        bool learnt{false};
+        bool deleted{false};
+    };
+
+    struct Watcher
+    {
+        CRef cref;
+        Lit blocker;
+    };
+
+    struct VarOrderHeap
+    {
+        std::vector<Var> heap;
+        std::vector<int> indices;  // position in heap, -1 if absent
+        const std::vector<double>* activity{nullptr};
+
+        [[nodiscard]] bool less(Var a, Var b) const
+        {
+            return (*activity)[static_cast<std::size_t>(a)] > (*activity)[static_cast<std::size_t>(b)];
+        }
+        [[nodiscard]] bool empty() const noexcept { return heap.empty(); }
+        [[nodiscard]] bool contains(Var v) const { return indices[static_cast<std::size_t>(v)] >= 0; }
+        void grow(Var v);
+        void insert(Var v);
+        void percolate_up(int i);
+        void percolate_down(int i);
+        Var remove_max();
+        void update(Var v);
+    };
+
+    // clause management
+    CRef alloc_clause(std::vector<Lit> lits, bool learnt);
+    void attach_clause(CRef cr);
+    void remove_clause(CRef cr);
+    void reduce_db();
+
+    // assignment / propagation
+    [[nodiscard]] LBool value(Lit l) const
+    {
+        const auto a = assigns_[static_cast<std::size_t>(l.var())];
+        if (a == LBool::undef)
+        {
+            return LBool::undef;
+        }
+        return (a == LBool::true_) != l.sign() ? LBool::true_ : LBool::false_;
+    }
+    [[nodiscard]] LBool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+    void unchecked_enqueue(Lit l, CRef from);
+    CRef propagate();
+    void cancel_until(int level);
+    [[nodiscard]] int decision_level() const noexcept { return static_cast<int>(trail_lim_.size()); }
+
+    // conflict analysis
+    void analyze(CRef conflict, std::vector<Lit>& out_learnt, int& out_btlevel, std::uint32_t& out_lbd);
+    [[nodiscard]] bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+
+    // branching
+    Lit pick_branch_lit();
+    void var_bump_activity(Var v);
+    void var_decay_activity() noexcept { var_inc_ /= var_decay_; }
+    void cla_bump_activity(Clause& c);
+    void cla_decay_activity() noexcept { cla_inc_ /= cla_decay_; }
+
+    // search
+    Result search(std::int64_t conflicts_allowed);
+    [[nodiscard]] static std::int64_t luby(std::int64_t i);
+    [[nodiscard]] bool budget_exhausted() const;
+
+    // data
+    std::vector<Clause> clauses_;
+    std::vector<CRef> problem_clauses_;
+    std::vector<CRef> learnts_;
+    std::size_t num_problem_clauses_{0};
+
+    std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
+    std::vector<LBool> assigns_;
+    std::vector<LBool> model_;
+    std::vector<bool> polarity_;  // saved phases (true = last assigned false)
+    std::vector<double> activity_;
+    std::vector<CRef> reason_;
+    std::vector<int> level_;
+    std::vector<Lit> trail_;
+    std::vector<int> trail_lim_;
+    std::size_t qhead_{0};
+
+    VarOrderHeap order_heap_;
+    std::vector<Lit> assumptions_;
+
+    // temporaries for analyze()
+    std::vector<std::uint8_t> seen_;
+    std::vector<Lit> analyze_toclear_;
+    std::vector<Lit> analyze_stack_;
+
+    bool ok_{true};
+    double var_inc_{1.0};
+    double var_decay_{0.95};
+    double cla_inc_{1.0};
+    double cla_decay_{0.999};
+    std::int64_t conflict_budget_{-1};
+    std::int64_t time_budget_ms_{-1};
+    std::int64_t solve_start_ms_{0};
+    std::uint64_t conflicts_at_solve_start_{0};
+    double max_learnts_{0.0};
+
+    SolverStats stats_{};
+};
+
+}  // namespace bestagon::sat

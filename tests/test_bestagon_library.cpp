@@ -1,0 +1,135 @@
+#include "layout/bestagon_library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace
+{
+
+using namespace bestagon;
+using namespace bestagon::layout;
+using logic::GateType;
+
+TEST(BestagonLibrary, OffersAllWireVariants)
+{
+    const auto& lib = BestagonLibrary::instance();
+    EXPECT_NE(lib.lookup(GateType::buf, Port::nw, std::nullopt, Port::sw, std::nullopt), nullptr);
+    EXPECT_NE(lib.lookup(GateType::buf, Port::ne, std::nullopt, Port::se, std::nullopt), nullptr);
+    EXPECT_NE(lib.lookup(GateType::buf, Port::nw, std::nullopt, Port::se, std::nullopt), nullptr);
+    EXPECT_NE(lib.lookup(GateType::buf, Port::ne, std::nullopt, Port::sw, std::nullopt), nullptr);
+}
+
+TEST(BestagonLibrary, OffersAllTwoInputGatesBothOutputs)
+{
+    const auto& lib = BestagonLibrary::instance();
+    for (const auto type : {GateType::and2, GateType::or2, GateType::nand2, GateType::nor2,
+                            GateType::xor2, GateType::xnor2})
+    {
+        EXPECT_NE(lib.lookup(type, Port::nw, Port::ne, Port::se, std::nullopt), nullptr)
+            << gate_type_name(type);
+        EXPECT_NE(lib.lookup(type, Port::nw, Port::ne, Port::sw, std::nullopt), nullptr)
+            << gate_type_name(type);
+    }
+}
+
+TEST(BestagonLibrary, LookupIsCommutativeInInputPorts)
+{
+    const auto& lib = BestagonLibrary::instance();
+    EXPECT_EQ(lib.lookup(GateType::and2, Port::nw, Port::ne, Port::se, std::nullopt),
+              lib.lookup(GateType::and2, Port::ne, Port::nw, Port::se, std::nullopt));
+}
+
+TEST(BestagonLibrary, UnknownCombinationsReturnNull)
+{
+    const auto& lib = BestagonLibrary::instance();
+    // gates never output upward
+    EXPECT_EQ(lib.lookup(GateType::and2, Port::nw, Port::ne, Port::nw, std::nullopt), nullptr);
+    EXPECT_EQ(lib.lookup(GateType::maj3, Port::nw, Port::ne, Port::se, std::nullopt), nullptr);
+}
+
+TEST(BestagonLibrary, AllSitesLieInsideTheTile)
+{
+    const auto& lib = BestagonLibrary::instance();
+    for (const auto& g : lib.all())
+    {
+        for (const auto& s : g.design.sites)
+        {
+            EXPECT_GE(s.n, 0) << g.design.name;
+            EXPECT_LE(s.n, tile_columns) << g.design.name;
+            EXPECT_GE(s.m, 0) << g.design.name;
+            EXPECT_LT(s.m, tile_rows) << g.design.name;
+        }
+    }
+}
+
+TEST(BestagonLibrary, NoDuplicateSitesWithinATile)
+{
+    const auto& lib = BestagonLibrary::instance();
+    for (const auto& g : lib.all())
+    {
+        std::set<std::tuple<int, int, int>> seen;
+        for (const auto& s : g.design.sites)
+        {
+            EXPECT_TRUE(seen.insert({s.n, s.m, s.l}).second)
+                << g.design.name << " duplicates (" << s.n << "," << s.m << "," << s.l << ")";
+        }
+    }
+}
+
+TEST(BestagonLibrary, MirrorIsAnInvolution)
+{
+    const auto& lib = BestagonLibrary::instance();
+    const auto* wire = lib.lookup(GateType::buf, Port::nw, std::nullopt, Port::sw, std::nullopt);
+    ASSERT_NE(wire, nullptr);
+    const auto twice = mirror_design(mirror_design(wire->design));
+    EXPECT_EQ(twice.sites, wire->design.sites);
+}
+
+TEST(BestagonLibrary, PortPairsSitAtTheConventionalPositions)
+{
+    const auto& lib = BestagonLibrary::instance();
+    for (const auto& g : lib.all())
+    {
+        for (const auto& p : g.design.input_pairs)
+        {
+            EXPECT_TRUE(p.zero_site.n == 15 || p.zero_site.n == 45) << g.design.name;
+            EXPECT_EQ(p.zero_site.m, 1) << g.design.name;
+            EXPECT_EQ(p.one_site.m, 2) << g.design.name;
+        }
+        for (const auto& p : g.design.output_pairs)
+        {
+            EXPECT_TRUE(p.zero_site.n == 15 || p.zero_site.n == 45) << g.design.name;
+            EXPECT_EQ(p.zero_site.m, 21) << g.design.name;
+            EXPECT_EQ(p.one_site.m, 22) << g.design.name;
+        }
+    }
+}
+
+TEST(BestagonLibrary, CrossingServesTwoSignals)
+{
+    const auto& cross = BestagonLibrary::instance().crossing();
+    EXPECT_EQ(cross.design.input_pairs.size(), 2U);
+    EXPECT_EQ(cross.design.output_pairs.size(), 2U);
+    EXPECT_EQ(cross.design.functions.size(), 2U);
+    // SW output follows the NE input and vice versa
+    EXPECT_EQ(cross.design.functions[0].to_binary(), "1100");
+    EXPECT_EQ(cross.design.functions[1].to_binary(), "1010");
+}
+
+TEST(BestagonLibrary, ValidatedDesignsCoverWiresAndBasicGates)
+{
+    const auto& lib = BestagonLibrary::instance();
+    unsigned validated = 0;
+    for (const auto& g : lib.all())
+    {
+        if (g.simulation_validated)
+        {
+            ++validated;
+        }
+    }
+    // at least the four wire variants, PI/PO tiles, OR and AND
+    EXPECT_GE(validated, 10U);
+}
+
+}  // namespace

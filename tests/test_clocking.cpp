@@ -1,0 +1,89 @@
+#include "layout/clocking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon::layout;
+
+TEST(Clocking, RowColumnarZones)
+{
+    for (int y = 0; y < 8; ++y)
+    {
+        for (int x = 0; x < 4; ++x)
+        {
+            EXPECT_EQ(clock_zone(ClockingScheme::row_columnar, HexCoord{x, y}),
+                      static_cast<unsigned>(y % 4));
+        }
+    }
+}
+
+TEST(Clocking, TwoDDWaveZones)
+{
+    EXPECT_EQ(clock_zone(ClockingScheme::two_d_d_wave, HexCoord{0, 0}), 0U);
+    EXPECT_EQ(clock_zone(ClockingScheme::two_d_d_wave, HexCoord{1, 0}), 1U);
+    EXPECT_EQ(clock_zone(ClockingScheme::two_d_d_wave, HexCoord{1, 1}), 2U);
+    EXPECT_EQ(clock_zone(ClockingScheme::two_d_d_wave, HexCoord{2, 2}), 0U);
+}
+
+TEST(Clocking, UsePatternIsFourPeriodic)
+{
+    for (int y = 0; y < 4; ++y)
+    {
+        for (int x = 0; x < 4; ++x)
+        {
+            EXPECT_EQ(clock_zone(ClockingScheme::use, HexCoord{x, y}),
+                      clock_zone(ClockingScheme::use, HexCoord{x + 4, y + 4}));
+        }
+    }
+}
+
+TEST(Clocking, UseEveryZoneAppearsInEveryRow)
+{
+    for (int y = 0; y < 4; ++y)
+    {
+        unsigned seen = 0;
+        for (int x = 0; x < 4; ++x)
+        {
+            seen |= 1U << clock_zone(ClockingScheme::use, HexCoord{x, y});
+        }
+        EXPECT_EQ(seen, 0xFU);
+    }
+}
+
+/// The paper's central clocking property: under the row-based Columnar
+/// scheme every downward hexagonal step enters the successor phase.
+TEST(Clocking, RowColumnarIsFeedForward)
+{
+    EXPECT_TRUE(is_feed_forward(ClockingScheme::row_columnar));
+    for (int y = 0; y < 8; ++y)
+    {
+        for (int x = 0; x < 8; ++x)
+        {
+            const HexCoord c{x, y};
+            EXPECT_TRUE(feeds_next_phase(ClockingScheme::row_columnar, c, neighbor(c, Port::sw)));
+            EXPECT_TRUE(feeds_next_phase(ClockingScheme::row_columnar, c, neighbor(c, Port::se)));
+        }
+    }
+}
+
+TEST(Clocking, ColumnarIsNotFeedForwardOnHexRows)
+{
+    // a vertical step keeps the column -> same zone, not the successor
+    EXPECT_FALSE(feeds_next_phase(ClockingScheme::columnar, HexCoord{2, 0}, HexCoord{2, 1}));
+}
+
+TEST(Clocking, NegativeCoordinatesAreHandled)
+{
+    EXPECT_EQ(clock_zone(ClockingScheme::row_columnar, HexCoord{0, -1}), 3U);
+    EXPECT_EQ(clock_zone(ClockingScheme::two_d_d_wave, HexCoord{-1, -2}), 1U);
+}
+
+TEST(Clocking, SchemeNames)
+{
+    EXPECT_STREQ(clocking_scheme_name(ClockingScheme::row_columnar), "RowColumnar");
+    EXPECT_STREQ(clocking_scheme_name(ClockingScheme::use), "USE");
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+#include "layout/coordinates.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon::layout;
+
+TEST(Coordinates, CubeRoundTrip)
+{
+    for (int x = -5; x <= 5; ++x)
+    {
+        for (int y = -5; y <= 5; ++y)
+        {
+            const HexCoord c{x, y};
+            EXPECT_EQ(to_offset(to_cube(c)), c);
+        }
+    }
+}
+
+TEST(Coordinates, CubeInvariantHolds)
+{
+    for (int x = -4; x <= 4; ++x)
+    {
+        for (int y = -4; y <= 4; ++y)
+        {
+            const auto cube = to_cube(HexCoord{x, y});
+            EXPECT_EQ(cube.q + cube.r + cube.s, 0);
+        }
+    }
+}
+
+TEST(Coordinates, NeighborsAreAtDistanceOne)
+{
+    for (int x = -3; x <= 3; ++x)
+    {
+        for (int y = -3; y <= 3; ++y)
+        {
+            const HexCoord c{x, y};
+            for (const auto p : {Port::nw, Port::ne, Port::sw, Port::se})
+            {
+                EXPECT_EQ(hex_distance(c, neighbor(c, p)), 1);
+            }
+        }
+    }
+}
+
+TEST(Coordinates, UpDownAreInverse)
+{
+    // going down through SE and back up through NW returns to the origin
+    for (int x = -3; x <= 3; ++x)
+    {
+        for (int y = -3; y <= 3; ++y)
+        {
+            const HexCoord c{x, y};
+            EXPECT_EQ(neighbor(neighbor(c, Port::se), Port::nw), c);
+            EXPECT_EQ(neighbor(neighbor(c, Port::sw), Port::ne), c);
+        }
+    }
+}
+
+TEST(Coordinates, OddRowShiftsRight)
+{
+    // odd-r layout: the SE neighbor of an even-row tile keeps its x
+    EXPECT_EQ(neighbor(HexCoord{2, 0}, Port::se), (HexCoord{2, 1}));
+    EXPECT_EQ(neighbor(HexCoord{2, 0}, Port::sw), (HexCoord{1, 1}));
+    // and from an odd row it increments
+    EXPECT_EQ(neighbor(HexCoord{2, 1}, Port::se), (HexCoord{3, 2}));
+    EXPECT_EQ(neighbor(HexCoord{2, 1}, Port::sw), (HexCoord{2, 2}));
+}
+
+TEST(Coordinates, EntryAndExitPortsMatch)
+{
+    const HexCoord c{1, 1};
+    for (const auto p : {Port::sw, Port::se})
+    {
+        const auto nb = neighbor(c, p);
+        const auto exit = exit_port(c, nb);
+        ASSERT_TRUE(exit.has_value());
+        EXPECT_EQ(*exit, p);
+        const auto entry = entry_port(c, nb);
+        ASSERT_TRUE(entry.has_value());
+        // leaving through SE means entering through NW, and vice versa
+        EXPECT_EQ(*entry, p == Port::se ? Port::nw : Port::ne);
+    }
+}
+
+TEST(Coordinates, NonAdjacentTilesHaveNoPorts)
+{
+    EXPECT_FALSE(exit_port(HexCoord{0, 0}, HexCoord{3, 3}).has_value());
+    EXPECT_FALSE(entry_port(HexCoord{0, 0}, HexCoord{0, 2}).has_value());
+}
+
+TEST(Coordinates, DownNeighborsAreDistinct)
+{
+    for (int x = -3; x <= 3; ++x)
+    {
+        for (int y = -3; y <= 3; ++y)
+        {
+            const auto downs = down_neighbors(HexCoord{x, y});
+            EXPECT_NE(downs[0], downs[1]);
+            EXPECT_EQ(downs[0].y, y + 1);
+            EXPECT_EQ(downs[1].y, y + 1);
+        }
+    }
+}
+
+TEST(Coordinates, HexDistanceIsAMetric)
+{
+    const HexCoord a{0, 0}, b{2, 3}, c{-1, 4};
+    EXPECT_EQ(hex_distance(a, a), 0);
+    EXPECT_EQ(hex_distance(a, b), hex_distance(b, a));
+    EXPECT_LE(hex_distance(a, c), hex_distance(a, b) + hex_distance(b, c));
+}
+
+}  // namespace

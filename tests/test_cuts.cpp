@@ -1,0 +1,113 @@
+#include "logic/cuts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon::logic;
+
+LogicNetwork make_mux()
+{
+    LogicNetwork n;
+    const auto a = n.create_pi("a");
+    const auto b = n.create_pi("b");
+    const auto s = n.create_pi("s");
+    const auto l = n.create_and(a, n.create_not(s));
+    const auto r = n.create_and(b, s);
+    n.create_po(n.create_or(l, r), "f");
+    return n;
+}
+
+TEST(Cuts, TrivialCutOnPis)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi();
+    n.create_po(n.create_not(a));
+    const CutEnumeration cuts{n};
+    const auto& pi_cuts = cuts.cuts_of(a);
+    ASSERT_EQ(pi_cuts.size(), 1U);
+    EXPECT_EQ(pi_cuts[0].leaves, std::vector<LogicNetwork::NodeId>{a});
+    unsigned var = 99;
+    bool comp = true;
+    EXPECT_TRUE(pi_cuts[0].function.is_projection(var, comp));
+    EXPECT_FALSE(comp);
+}
+
+TEST(Cuts, CutFunctionsMatchConeSimulation)
+{
+    const auto n = make_mux();
+    const CutEnumeration cuts{n, 4, 16};
+    for (const auto id : n.topological_order())
+    {
+        for (const auto& cut : cuts.cuts_of(id))
+        {
+            // recompute independently and compare
+            const auto recomputed = compute_cut_function(n, id, cut.leaves);
+            EXPECT_EQ(cut.function, recomputed);
+        }
+    }
+}
+
+TEST(Cuts, MuxRootHasFullCut)
+{
+    const auto n = make_mux();
+    const CutEnumeration cuts{n, 4, 16};
+    const auto root = n.node(n.pos()[0]).fanin[0];
+    bool found_pi_cut = false;
+    for (const auto& cut : cuts.cuts_of(root))
+    {
+        if (cut.leaves.size() == 3)
+        {
+            // the 3-leaf cut over the PIs computes the full mux function
+            // f(a,b,s) = s ? b : a; leaves are sorted by id = (a, b, s)
+            const auto a = TruthTable::nth_var(3, 0);
+            const auto b = TruthTable::nth_var(3, 1);
+            const auto s = TruthTable::nth_var(3, 2);
+            const auto expected = (a & ~s) | (b & s);
+            if (cut.function == expected)
+            {
+                found_pi_cut = true;
+            }
+        }
+    }
+    EXPECT_TRUE(found_pi_cut);
+}
+
+TEST(Cuts, RespectsCutSizeLimit)
+{
+    const auto n = make_mux();
+    const CutEnumeration cuts{n, 2, 16};
+    for (const auto id : n.topological_order())
+    {
+        for (const auto& cut : cuts.cuts_of(id))
+        {
+            EXPECT_LE(cut.leaves.size(), 2U);
+        }
+    }
+}
+
+TEST(Cuts, RespectsCutCountLimit)
+{
+    const auto n = make_mux();
+    const CutEnumeration cuts{n, 4, 3};
+    for (const auto id : n.topological_order())
+    {
+        EXPECT_LE(cuts.cuts_of(id).size(), 3U);
+    }
+}
+
+TEST(Cuts, LeavesAreSorted)
+{
+    const auto n = make_mux();
+    const CutEnumeration cuts{n};
+    for (const auto id : n.topological_order())
+    {
+        for (const auto& cut : cuts.cuts_of(id))
+        {
+            EXPECT_TRUE(std::is_sorted(cut.leaves.begin(), cut.leaves.end()));
+        }
+    }
+}
+
+}  // namespace

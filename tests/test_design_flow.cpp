@@ -1,0 +1,97 @@
+#include "core/design_flow.hpp"
+
+#include "logic/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon;
+using core::FlowOptions;
+using core::PhysicalDesignEngine;
+
+TEST(DesignFlow, Xor2EndToEnd)
+{
+    const auto result = core::run_design_flow(logic::find_benchmark("xor2")->build());
+    ASSERT_TRUE(result.success());
+    EXPECT_EQ(result.layout->width(), 2U);
+    EXPECT_EQ(result.layout->height(), 3U);
+    EXPECT_EQ(result.equivalence, layout::EquivalenceResult::equivalent);
+    EXPECT_TRUE(result.drc.clean());
+    EXPECT_TRUE(result.sidb.has_value());
+    EXPECT_TRUE(result.sidb->all_sites_unique());
+    EXPECT_TRUE(result.supertiles->satisfies_pitch(layout::ElectrodeTechnology{}));
+}
+
+TEST(DesignFlow, VerilogEntryPoint)
+{
+    const auto result = core::run_design_flow_verilog(R"(
+        module half(a, b, s);
+          input a, b;
+          output s;
+          assign s = a ^ b;
+        endmodule
+    )");
+    ASSERT_TRUE(result.success());
+    EXPECT_EQ(result.mapped.num_pis(), 2U);
+}
+
+TEST(DesignFlow, RewritingCanBeDisabled)
+{
+    FlowOptions opt;
+    opt.rewrite = false;
+    const auto net = logic::find_benchmark("mux21")->build();
+    const auto without = core::run_design_flow(net, opt);
+    opt.rewrite = true;
+    const auto with = core::run_design_flow(net, opt);
+    ASSERT_TRUE(without.success());
+    ASSERT_TRUE(with.success());
+    // rewriting never hurts and shrinks the redundant mux structure
+    EXPECT_LE(with.rewritten.num_gates(), without.rewritten.num_gates());
+    EXPECT_LE(with.layout->area(), without.layout->area());
+}
+
+TEST(DesignFlow, ScalableEngineWorksOnSimpleBenchmarks)
+{
+    FlowOptions opt;
+    opt.engine = PhysicalDesignEngine::scalable;
+    const auto result = core::run_design_flow(logic::find_benchmark("par_check")->build(), opt);
+    ASSERT_TRUE(result.success());
+    EXPECT_EQ(result.engine_used, "scalable");
+}
+
+TEST(DesignFlow, FallbackReportsEngine)
+{
+    FlowOptions opt;
+    opt.engine = PhysicalDesignEngine::exact_with_fallback;
+    opt.exact_options.max_width = 1;   // force exact failure
+    opt.exact_options.max_height = 2;
+    const auto result = core::run_design_flow(logic::find_benchmark("par_gen")->build(), opt);
+    ASSERT_TRUE(result.layout.has_value());
+    EXPECT_EQ(result.engine_used, "scalable");
+    EXPECT_TRUE(result.success());
+}
+
+class FlowBenchmark : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FlowBenchmark, FullFlowSucceeds)
+{
+    const auto* bm = logic::find_benchmark(GetParam());
+    FlowOptions opt;
+    opt.exact_options.time_budget_ms = 60000;
+    const auto result = core::run_design_flow(bm->build(), opt);
+    ASSERT_TRUE(result.success()) << GetParam();
+    EXPECT_TRUE(result.drc.clean()) << GetParam();
+    // functional correctness against the *original* specification
+    const auto extracted = result.layout->extract_network(result.mapped);
+    EXPECT_TRUE(logic::functionally_equivalent(bm->build(), extracted)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, FlowBenchmark,
+                         ::testing::Values("xor2", "xnor2", "par_gen", "mux21", "par_check",
+                                           "xor5_r1", "xor5_majority", "t", "majority", "c17"));
+
+}  // namespace

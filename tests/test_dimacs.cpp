@@ -1,0 +1,55 @@
+#include "sat/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace
+{
+
+using namespace bestagon::sat;
+
+TEST(Dimacs, ParsesSimpleFormula)
+{
+    const auto cnf = read_dimacs("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+    EXPECT_EQ(cnf.num_vars, 3);
+    ASSERT_EQ(cnf.clauses.size(), 2U);
+    EXPECT_EQ(cnf.clauses[0], (std::vector<int>{1, -2}));
+    EXPECT_EQ(cnf.clauses[1], (std::vector<int>{2, 3}));
+}
+
+TEST(Dimacs, RoundTrip)
+{
+    Cnf cnf;
+    cnf.num_vars = 4;
+    cnf.clauses = {{1, -2, 3}, {-1, 4}, {2}};
+    std::ostringstream out;
+    write_dimacs(out, cnf);
+    const auto back = read_dimacs(out.str());
+    EXPECT_EQ(back.num_vars, cnf.num_vars);
+    EXPECT_EQ(back.clauses, cnf.clauses);
+}
+
+TEST(Dimacs, MalformedHeaderThrows)
+{
+    EXPECT_THROW(static_cast<void>(read_dimacs("p dnf 2 1\n1 0\n")), std::runtime_error);
+}
+
+TEST(Dimacs, LoadIntoSolverAndSolve)
+{
+    const auto cnf = read_dimacs("p cnf 2 2\n1 2 0\n-1 0\n");
+    Solver s;
+    ASSERT_TRUE(load_into_solver(s, cnf));
+    ASSERT_EQ(s.solve(), Result::satisfiable);
+    EXPECT_FALSE(s.model_value(Var{0}));
+    EXPECT_TRUE(s.model_value(Var{1}));
+}
+
+TEST(Dimacs, LoadUnsatisfiable)
+{
+    const auto cnf = read_dimacs("p cnf 1 2\n1 0\n-1 0\n");
+    Solver s;
+    EXPECT_FALSE(load_into_solver(s, cnf));
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include "layout/exact_physical_design.hpp"
+
+#include "layout/design_rules.hpp"
+#include "logic/benchmarks.hpp"
+#include "logic/rewriting.hpp"
+#include "logic/tech_mapping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon;
+using namespace bestagon::layout;
+
+logic::LogicNetwork mapped_benchmark(const std::string& name)
+{
+    const auto* bm = logic::find_benchmark(name);
+    logic::NpnDatabase db;
+    return logic::map_to_bestagon(logic::rewrite(logic::to_xag(bm->build()), db));
+}
+
+TEST(ExactPD, MinimumHeightIsCriticalPathPlusOne)
+{
+    logic::LogicNetwork n;
+    const auto a = n.create_pi();
+    const auto b = n.create_pi();
+    n.create_po(n.create_xor(a, b));
+    // PI (row 0) -> gate (row 1) -> PO (row 2)
+    EXPECT_EQ(minimum_height(n), 3U);
+}
+
+TEST(ExactPD, Xor2MatchesPaperAspectRatio)
+{
+    const auto mapped = mapped_benchmark("xor2");
+    const auto layout = exact_physical_design(mapped);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_EQ(layout->width(), 2U);
+    EXPECT_EQ(layout->height(), 3U);  // paper Table 1: 2x3
+}
+
+TEST(ExactPD, RejectsNonCompliantNetworks)
+{
+    logic::LogicNetwork n;
+    const auto a = n.create_pi();
+    const auto b = n.create_pi();
+    const auto x = n.create_and(a, b);
+    n.create_po(x);
+    n.create_po(x);  // fan-out 2 without fanout node
+    EXPECT_THROW(static_cast<void>(exact_physical_design(n)), std::invalid_argument);
+}
+
+TEST(ExactPD, InfeasibleSizeLimitsReturnNullopt)
+{
+    const auto mapped = mapped_benchmark("c17");
+    ExactPDOptions opt;
+    opt.max_width = 2;
+    opt.max_height = 4;  // too small for c17
+    ExactPDStats stats;
+    const auto layout = exact_physical_design(mapped, opt, &stats);
+    EXPECT_FALSE(layout.has_value());
+    // c17 has 5 PIs, so no candidate size even exists under max_width = 2
+    EXPECT_FALSE(stats.message.empty());
+}
+
+/// Property suite over benchmarks small enough for fast exact solving:
+/// layouts are functionally correct, DRC-clean and respect the documented
+/// aspect-ratio scale of the paper's Table 1.
+class ExactPDBenchmark : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(ExactPDBenchmark, ProducesCorrectAndCleanLayouts)
+{
+    const auto* bm = logic::find_benchmark(GetParam());
+    const auto spec = bm->build();
+    const auto mapped = mapped_benchmark(GetParam());
+    ExactPDOptions opt;
+    opt.time_budget_ms = 60000;
+    const auto layout = exact_physical_design(mapped, opt);
+    ASSERT_TRUE(layout.has_value());
+
+    // functional correctness via extraction
+    const auto extracted = layout->extract_network(mapped);
+    EXPECT_TRUE(logic::functionally_equivalent(spec, extracted));
+
+    // design rules
+    const auto drc = check_design_rules(*layout);
+    EXPECT_TRUE(drc.clean()) << (drc.violations.empty() ? "" : drc.violations.front().message);
+
+    // area stays within 1.5x of the paper's Table 1 (netlists are partially
+    // reconstructed, so exact equality is not guaranteed)
+    EXPECT_LE(layout->area(), bm->paper.area_tiles * 3 / 2 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallAndMedium, ExactPDBenchmark,
+                         ::testing::Values("xor2", "xnor2", "par_gen", "mux21", "par_check",
+                                           "xor5_r1", "majority", "c17"));
+
+TEST(ExactPD, PlacesAllNodesExactlyOnce)
+{
+    const auto mapped = mapped_benchmark("mux21");
+    const auto layout = exact_physical_design(mapped);
+    ASSERT_TRUE(layout.has_value());
+    std::size_t placed = 0;
+    for (const auto& t : layout->all_tiles())
+    {
+        for (const auto& occ : layout->occupants(t))
+        {
+            if (!occ.is_wire())
+            {
+                ++placed;
+            }
+        }
+    }
+    std::size_t expected = 0;
+    for (const auto id : mapped.topological_order())
+    {
+        static_cast<void>(id);
+        ++expected;
+    }
+    EXPECT_EQ(placed, expected);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+#include "logic/exact_synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace
+{
+
+using namespace bestagon::logic;
+
+TEST(ExactSynthesis, ConstantFunctions)
+{
+    const auto net0 = exact_synthesize(TruthTable::constant(2, false));
+    ASSERT_TRUE(net0.has_value());
+    EXPECT_TRUE(net0->simulate()[0].is_const0());
+    const auto net1 = exact_synthesize(TruthTable::constant(3, true));
+    ASSERT_TRUE(net1.has_value());
+    EXPECT_TRUE(net1->simulate()[0].is_const1());
+}
+
+TEST(ExactSynthesis, Projections)
+{
+    const auto net = exact_synthesize(TruthTable::nth_var(3, 1));
+    ASSERT_TRUE(net.has_value());
+    EXPECT_EQ(net->simulate()[0], TruthTable::nth_var(3, 1));
+    EXPECT_EQ(count_two_input_gates(*net), 0U);
+
+    const auto neg = exact_synthesize(~TruthTable::nth_var(2, 0));
+    ASSERT_TRUE(neg.has_value());
+    EXPECT_EQ(neg->simulate()[0], ~TruthTable::nth_var(2, 0));
+}
+
+TEST(ExactSynthesis, SingleGateFunctions)
+{
+    for (const char* bits : {"1000", "1110", "0110", "0111", "0001", "1001"})
+    {
+        const auto f = TruthTable::from_binary(bits);
+        const auto net = exact_synthesize(f);
+        ASSERT_TRUE(net.has_value()) << bits;
+        EXPECT_EQ(net->simulate()[0], f) << bits;
+        EXPECT_EQ(count_two_input_gates(*net), 1U) << bits;
+    }
+}
+
+TEST(ExactSynthesis, Xor3NeedsTwoGates)
+{
+    const auto f = TruthTable::nth_var(3, 0) ^ TruthTable::nth_var(3, 1) ^ TruthTable::nth_var(3, 2);
+    const auto net = exact_synthesize(f);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_EQ(net->simulate()[0], f);
+    EXPECT_EQ(count_two_input_gates(*net), 2U);
+}
+
+TEST(ExactSynthesis, MajorityNeedsFourGates)
+{
+    TruthTable f{3};
+    for (unsigned t = 0; t < 8; ++t)
+    {
+        f.set_bit(t, __builtin_popcount(t) >= 2);
+    }
+    const auto net = exact_synthesize(f);
+    ASSERT_TRUE(net.has_value());
+    EXPECT_EQ(net->simulate()[0], f);
+    // MAJ = ((a^b) & (a^c)) ^ a is optimal in the XAG cost model
+    EXPECT_EQ(count_two_input_gates(*net), 4U);
+}
+
+/// Property: synthesized networks always realize the requested function.
+TEST(ExactSynthesis, RandomFunctionsAreRealizedCorrectly)
+{
+    std::mt19937 rng{2024};
+    for (int iter = 0; iter < 20; ++iter)
+    {
+        const unsigned n = 2 + rng() % 2;
+        TruthTable f{n};
+        for (std::uint64_t t = 0; t < f.num_bits(); ++t)
+        {
+            f.set_bit(t, (rng() & 1U) != 0);
+        }
+        const auto net = exact_synthesize(f);
+        ASSERT_TRUE(net.has_value());
+        EXPECT_EQ(net->simulate()[0], f);
+    }
+}
+
+TEST(NpnDatabase, CachesResults)
+{
+    NpnDatabase db;
+    const auto canon = TruthTable::from_binary("1000");
+    const auto* first = db.lookup(canon);
+    ASSERT_NE(first, nullptr);
+    const auto* second = db.lookup(canon);
+    EXPECT_EQ(first, second);  // cached pointer identity
+    EXPECT_EQ(db.num_entries(), 1U);
+}
+
+TEST(NpnDatabase, ImplementationsAreMinimal)
+{
+    NpnDatabase db;
+    const auto* impl = db.lookup(TruthTable::from_binary("0110"));
+    ASSERT_NE(impl, nullptr);
+    EXPECT_EQ(count_two_input_gates(*impl), 1U);
+}
+
+}  // namespace

@@ -1,0 +1,181 @@
+#include "layout/gate_level_layout.hpp"
+
+#include "logic/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon::layout;
+using bestagon::logic::GateType;
+using bestagon::logic::LogicNetwork;
+
+/// Builds the xor2 reference: PIs at (0,0) and (1,0), XOR at (1,1), PO (1,2).
+struct XorFixture
+{
+    LogicNetwork net;
+    GateLevelLayout layout{2, 3};
+
+    XorFixture()
+    {
+        const auto a = net.create_pi("a");
+        const auto b = net.create_pi("b");
+        const auto x = net.create_xor(a, b);
+        const auto f = net.create_po(x, "f");
+
+        Occupant pa;
+        pa.type = GateType::pi;
+        pa.node = a;
+        pa.label = "a";
+        pa.out_a = Port::se;
+        EXPECT_TRUE(layout.add_occupant({0, 0}, pa));
+
+        Occupant pb;
+        pb.type = GateType::pi;
+        pb.node = b;
+        pb.label = "b";
+        pb.out_a = Port::sw;
+        EXPECT_TRUE(layout.add_occupant({1, 0}, pb));
+
+        Occupant gx;
+        gx.type = GateType::xor2;
+        gx.node = x;
+        gx.in_a = Port::nw;
+        gx.in_b = Port::ne;
+        gx.out_a = Port::sw;
+        EXPECT_TRUE(layout.add_occupant({0, 1}, gx));
+
+        Occupant pf;
+        pf.type = GateType::po;
+        pf.node = f;
+        pf.label = "f";
+        pf.in_a = Port::ne;
+        EXPECT_TRUE(layout.add_occupant({0, 2}, pf));
+    }
+};
+
+TEST(GateLevelLayout, DimensionsAndBounds)
+{
+    GateLevelLayout l{3, 4};
+    EXPECT_EQ(l.width(), 3U);
+    EXPECT_EQ(l.height(), 4U);
+    EXPECT_EQ(l.area(), 12U);
+    EXPECT_TRUE(l.in_bounds({2, 3}));
+    EXPECT_FALSE(l.in_bounds({3, 0}));
+    EXPECT_FALSE(l.in_bounds({0, -1}));
+}
+
+TEST(GateLevelLayout, RejectsPiOutsideTopRow)
+{
+    GateLevelLayout l{2, 3};
+    Occupant pi;
+    pi.type = GateType::pi;
+    pi.out_a = Port::sw;
+    std::string err;
+    EXPECT_FALSE(l.add_occupant({0, 1}, pi, &err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(GateLevelLayout, RejectsPoOutsideBottomRow)
+{
+    GateLevelLayout l{2, 3};
+    Occupant po;
+    po.type = GateType::po;
+    po.in_a = Port::nw;
+    EXPECT_FALSE(l.add_occupant({0, 0}, po));
+}
+
+TEST(GateLevelLayout, RejectsGateSharingTile)
+{
+    GateLevelLayout l{2, 3};
+    Occupant g;
+    g.type = GateType::and2;
+    g.in_a = Port::nw;
+    g.in_b = Port::ne;
+    g.out_a = Port::sw;
+    EXPECT_TRUE(l.add_occupant({0, 1}, g));
+    Occupant w;
+    w.type = GateType::buf;
+    w.in_a = Port::nw;
+    w.out_a = Port::se;
+    EXPECT_FALSE(l.add_occupant({0, 1}, w));
+}
+
+TEST(GateLevelLayout, AllowsTwoWiresWithDisjointPorts)
+{
+    GateLevelLayout l{2, 3};
+    Occupant w1;
+    w1.type = GateType::buf;
+    w1.in_a = Port::nw;
+    w1.out_a = Port::se;
+    Occupant w2;
+    w2.type = GateType::buf;
+    w2.in_a = Port::ne;
+    w2.out_a = Port::sw;
+    EXPECT_TRUE(l.add_occupant({0, 1}, w1));
+    EXPECT_TRUE(l.add_occupant({0, 1}, w2));
+    EXPECT_EQ(l.num_crossing_tiles(), 1U);
+
+    // a third occupant must be rejected
+    Occupant w3;
+    w3.type = GateType::buf;
+    w3.in_a = Port::nw;
+    w3.out_a = Port::sw;
+    EXPECT_FALSE(l.add_occupant({0, 1}, w3));
+}
+
+TEST(GateLevelLayout, RejectsPortConflictBetweenWires)
+{
+    GateLevelLayout l{2, 3};
+    Occupant w1;
+    w1.type = GateType::buf;
+    w1.in_a = Port::nw;
+    w1.out_a = Port::se;
+    Occupant w2;
+    w2.type = GateType::buf;
+    w2.in_a = Port::nw;  // conflicts with w1
+    w2.out_a = Port::sw;
+    EXPECT_TRUE(l.add_occupant({0, 1}, w1));
+    EXPECT_FALSE(l.add_occupant({0, 1}, w2));
+}
+
+TEST(GateLevelLayout, Statistics)
+{
+    const XorFixture fx;
+    EXPECT_EQ(fx.layout.num_occupied_tiles(), 4U);
+    EXPECT_EQ(fx.layout.num_gate_tiles(), 1U);
+    EXPECT_EQ(fx.layout.num_wire_segments(), 0U);
+}
+
+TEST(GateLevelLayout, ExtractNetworkReconstructsFunction)
+{
+    const XorFixture fx;
+    const auto extracted = fx.layout.extract_network(fx.net);
+    EXPECT_TRUE(bestagon::logic::functionally_equivalent(fx.net, extracted));
+}
+
+TEST(GateLevelLayout, ExtractDetectsDanglingInputs)
+{
+    LogicNetwork net;
+    const auto a = net.create_pi("a");
+    const auto f = net.create_po(net.create_buf(a), "f");
+    static_cast<void>(f);
+
+    GateLevelLayout l{1, 2};
+    Occupant po;
+    po.type = GateType::po;
+    po.node = net.pos()[0];
+    po.in_a = Port::ne;  // nothing drives this
+    ASSERT_TRUE(l.add_occupant({0, 1}, po));
+    EXPECT_THROW(static_cast<void>(l.extract_network(net)), std::runtime_error);
+}
+
+TEST(GateLevelLayout, ZoneFollowsScheme)
+{
+    GateLevelLayout l{2, 6};
+    EXPECT_EQ(l.zone({0, 0}), 0U);
+    EXPECT_EQ(l.zone({1, 5}), 1U);
+}
+
+}  // namespace

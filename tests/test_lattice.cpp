@@ -1,0 +1,64 @@
+#include "phys/lattice.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon::phys;
+
+TEST(Lattice, SitePositions)
+{
+    const SiDBSite origin{0, 0, 0};
+    EXPECT_DOUBLE_EQ(origin.x(), 0.0);
+    EXPECT_DOUBLE_EQ(origin.y(), 0.0);
+
+    const SiDBSite s{3, 2, 1};
+    EXPECT_DOUBLE_EQ(s.x(), 3 * 0.384);
+    EXPECT_DOUBLE_EQ(s.y(), 2 * 0.768 + 0.225);
+}
+
+TEST(Lattice, DimerPairSpacing)
+{
+    // the two atoms of a dimer pair are 2.25 A apart
+    EXPECT_NEAR(distance_nm({0, 0, 0}, {0, 0, 1}), 0.225, 1e-12);
+}
+
+TEST(Lattice, ColumnAndRowPitches)
+{
+    EXPECT_NEAR(distance_nm({0, 0, 0}, {1, 0, 0}), 0.384, 1e-12);
+    EXPECT_NEAR(distance_nm({0, 0, 0}, {0, 1, 0}), 0.768, 1e-12);
+}
+
+TEST(Lattice, DistanceIsSymmetric)
+{
+    const SiDBSite a{2, 3, 0}, b{7, 1, 1};
+    EXPECT_DOUBLE_EQ(distance_nm(a, b), distance_nm(b, a));
+    EXPECT_DOUBLE_EQ(distance_nm(a, a), 0.0);
+}
+
+TEST(Lattice, TranslationPreservesDistances)
+{
+    const SiDBSite a{2, 3, 0}, b{7, 1, 1};
+    const auto at = a.translated(10, -2);
+    const auto bt = b.translated(10, -2);
+    EXPECT_DOUBLE_EQ(distance_nm(a, b), distance_nm(at, bt));
+}
+
+TEST(Lattice, OrderingIsTotal)
+{
+    const SiDBSite a{0, 0, 0}, b{0, 0, 1}, c{1, 0, 0};
+    EXPECT_LT(a, b);
+    EXPECT_LT(a, c);
+    EXPECT_EQ(a, (SiDBSite{0, 0, 0}));
+}
+
+/// The Bestagon tile is 60 columns x 24 rows = 23.04 nm x 18.43 nm, which
+/// reproduces the paper's ~407-424 nm^2 per-tile area scale.
+TEST(Lattice, BestagonTileDimensions)
+{
+    EXPECT_NEAR(60 * lattice_pitch_x, 23.04, 1e-9);
+    EXPECT_NEAR(24 * lattice_pitch_y, 18.432, 1e-9);
+}
+
+}  // namespace

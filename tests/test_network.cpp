@@ -1,0 +1,176 @@
+#include "logic/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon::logic;
+
+TEST(Network, BuildAndSimulateXor)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi("a");
+    const auto b = n.create_pi("b");
+    n.create_po(n.create_xor(a, b), "f");
+    const auto tts = n.simulate();
+    ASSERT_EQ(tts.size(), 1U);
+    EXPECT_EQ(tts[0].to_binary(), "0110");
+}
+
+TEST(Network, SimulatePatternMatchesTruthTable)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi("a");
+    const auto b = n.create_pi("b");
+    const auto c = n.create_pi("c");
+    n.create_po(n.create_maj(a, b, c), "m");
+    n.create_po(n.create_nand(a, c), "n");
+    const auto tts = n.simulate();
+    for (std::uint64_t p = 0; p < 8; ++p)
+    {
+        const auto vals = n.simulate_pattern(p);
+        EXPECT_EQ(vals[0], tts[0].get_bit(p));
+        EXPECT_EQ(vals[1], tts[1].get_bit(p));
+    }
+}
+
+TEST(Network, GateCountsAndDepth)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi();
+    const auto b = n.create_pi();
+    const auto x = n.create_and(a, b);
+    const auto y = n.create_not(x);
+    n.create_po(y);
+    EXPECT_EQ(n.num_gates(), 2U);
+    EXPECT_EQ(n.num_gates_of(GateType::and2), 1U);
+    EXPECT_EQ(n.depth(), 2U);
+}
+
+TEST(Network, FanoutCounts)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi();
+    const auto x = n.create_not(a);
+    n.create_po(n.create_and(x, a));
+    n.create_po(x);
+    const auto counts = n.fanout_counts();
+    EXPECT_EQ(counts[a], 2U);  // feeds the inverter and the AND
+    EXPECT_EQ(counts[x], 2U);  // feeds the AND and a PO
+}
+
+TEST(Network, ConstantsAreCached)
+{
+    LogicNetwork n;
+    EXPECT_EQ(n.create_const(false), n.create_const(false));
+    EXPECT_EQ(n.create_const(true), n.create_const(true));
+    EXPECT_NE(n.create_const(false), n.create_const(true));
+}
+
+TEST(Network, TopologicalOrderRespectsDependencies)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi();
+    const auto b = n.create_pi();
+    const auto x = n.create_or(a, b);
+    n.create_po(x);
+    const auto order = n.topological_order();
+    std::vector<std::size_t> position(n.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+    {
+        position[order[i]] = i;
+    }
+    EXPECT_LT(position[a], position[x]);
+    EXPECT_LT(position[b], position[x]);
+}
+
+TEST(Network, IsXag)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi();
+    const auto b = n.create_pi();
+    n.create_po(n.create_xor(n.create_and(a, b), n.create_not(a)));
+    EXPECT_TRUE(n.is_xag());
+    LogicNetwork m;
+    const auto c = m.create_pi();
+    const auto d = m.create_pi();
+    m.create_po(m.create_or(c, d));
+    EXPECT_FALSE(m.is_xag());
+}
+
+TEST(Network, BestagonComplianceDetectsFanoutViolations)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi();
+    const auto b = n.create_pi();
+    const auto x = n.create_and(a, b);
+    n.create_po(x);
+    n.create_po(x);  // x drives two consumers without a fanout node
+    std::string why;
+    EXPECT_FALSE(n.is_bestagon_compliant(&why));
+    EXPECT_FALSE(why.empty());
+}
+
+TEST(Network, BestagonComplianceAcceptsFanoutNodes)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi();
+    const auto f = n.create_fanout(a);
+    n.create_po(f);
+    n.create_po(f);
+    EXPECT_TRUE(n.is_bestagon_compliant());
+}
+
+TEST(Network, BestagonComplianceRejectsMajority)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi();
+    const auto b = n.create_pi();
+    const auto c = n.create_pi();
+    n.create_po(n.create_maj(a, b, c));
+    EXPECT_FALSE(n.is_bestagon_compliant());
+}
+
+TEST(Network, FunctionalEquivalence)
+{
+    LogicNetwork n1;
+    {
+        const auto a = n1.create_pi();
+        const auto b = n1.create_pi();
+        n1.create_po(n1.create_nand(a, b));
+    }
+    LogicNetwork n2;
+    {
+        const auto a = n2.create_pi();
+        const auto b = n2.create_pi();
+        n2.create_po(n2.create_not(n2.create_and(a, b)));
+    }
+    EXPECT_TRUE(functionally_equivalent(n1, n2));
+    LogicNetwork n3;
+    {
+        const auto a = n3.create_pi();
+        const auto b = n3.create_pi();
+        n3.create_po(n3.create_and(a, b));
+    }
+    EXPECT_FALSE(functionally_equivalent(n1, n3));
+}
+
+TEST(Network, GateArityValidation)
+{
+    LogicNetwork n;
+    const auto a = n.create_pi();
+    EXPECT_THROW(static_cast<void>(n.create_gate(GateType::and2, {a})), std::invalid_argument);
+}
+
+TEST(Network, EvaluateGateCoversAllTypes)
+{
+    EXPECT_TRUE(evaluate_gate(GateType::nand2, {false, true, false}));
+    EXPECT_FALSE(evaluate_gate(GateType::nor2, {false, true, false}));
+    EXPECT_TRUE(evaluate_gate(GateType::xnor2, {true, true, false}));
+    EXPECT_TRUE(evaluate_gate(GateType::maj3, {true, false, true}));
+    EXPECT_TRUE(evaluate_gate(GateType::inv, {false, false, false}));
+    EXPECT_TRUE(evaluate_gate(GateType::const1, {false, false, false}));
+}
+
+}  // namespace

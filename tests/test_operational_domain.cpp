@@ -1,0 +1,91 @@
+#include "phys/operational_domain.hpp"
+
+#include "layout/bestagon_library.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon;
+using namespace bestagon::phys;
+
+const GateDesign& wire_design()
+{
+    static const GateDesign design = [] {
+        const auto* wire = layout::BestagonLibrary::instance().lookup(
+            logic::GateType::buf, layout::Port::nw, std::nullopt, layout::Port::sw, std::nullopt);
+        return wire->design;
+    }();
+    return design;
+}
+
+TEST(OperationalDomain, GridHasRequestedShape)
+{
+    DomainSweep sweep;
+    sweep.x_steps = 3;
+    sweep.y_steps = 4;
+    SimulationParameters base;
+    const auto domain = compute_operational_domain(wire_design(), base, sweep);
+    EXPECT_EQ(domain.points.size(), 12U);
+    // row-major with y outer: the first row shares its y value
+    EXPECT_DOUBLE_EQ(domain.points[0].y, domain.points[2].y);
+    EXPECT_NE(domain.points[0].x, domain.points[1].x);
+}
+
+TEST(OperationalDomain, CalibratedPointIsOperational)
+{
+    DomainSweep sweep;
+    sweep.axes = DomainAxes::epsilon_r_vs_lambda_tf;
+    sweep.x_min = sweep.x_max = 5.6;
+    sweep.x_steps = 1;
+    sweep.y_min = sweep.y_max = 5.0;
+    sweep.y_steps = 1;
+    SimulationParameters base;
+    base.mu_minus = -0.32;
+    const auto domain = compute_operational_domain(wire_design(), base, sweep);
+    ASSERT_EQ(domain.points.size(), 1U);
+    EXPECT_TRUE(domain.points[0].operational);
+    EXPECT_DOUBLE_EQ(domain.coverage(), 1.0);
+}
+
+TEST(OperationalDomain, ExtremeScreeningBreaksTheWire)
+{
+    // at eps_r = 20 the couplings are far too weak for BDL operation
+    DomainSweep sweep;
+    sweep.x_min = sweep.x_max = 20.0;
+    sweep.x_steps = 1;
+    sweep.y_min = sweep.y_max = 5.0;
+    sweep.y_steps = 1;
+    SimulationParameters base;
+    base.mu_minus = -0.32;
+    const auto domain = compute_operational_domain(wire_design(), base, sweep);
+    EXPECT_FALSE(domain.points[0].operational);
+}
+
+TEST(OperationalDomain, MuAxisSweep)
+{
+    DomainSweep sweep;
+    sweep.axes = DomainAxes::mu_vs_epsilon_r;
+    sweep.x_min = -0.34;
+    sweep.x_max = -0.26;
+    sweep.x_steps = 3;
+    sweep.y_min = sweep.y_max = 5.6;
+    sweep.y_steps = 1;
+    SimulationParameters base;
+    const auto domain = compute_operational_domain(wire_design(), base, sweep);
+    ASSERT_EQ(domain.points.size(), 3U);
+    // the wire tile is operational across the paper's mu range
+    for (const auto& p : domain.points)
+    {
+        EXPECT_TRUE(p.operational) << "mu = " << p.x;
+    }
+}
+
+TEST(OperationalDomain, CoverageOfEmptyDomainIsZero)
+{
+    OperationalDomain domain;
+    EXPECT_DOUBLE_EQ(domain.coverage(), 0.0);
+}
+
+}  // namespace

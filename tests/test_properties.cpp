@@ -1,0 +1,131 @@
+/// \file test_properties.cpp
+/// \brief Cross-module property tests: idempotence, incrementality and
+///        minimality invariants that individual unit tests do not cover.
+
+#include "layout/exact_physical_design.hpp"
+#include "logic/benchmarks.hpp"
+#include "logic/exact_synthesis.hpp"
+#include "logic/rewriting.hpp"
+#include "logic/tech_mapping.hpp"
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace
+{
+
+using namespace bestagon;
+
+TEST(Properties, SolverSupportsIncrementalClauseAddition)
+{
+    sat::Solver s;
+    const auto a = s.new_var();
+    const auto b = s.new_var();
+    s.add_clause(sat::pos(a), sat::pos(b));
+    ASSERT_EQ(s.solve(), sat::Result::satisfiable);
+    // strengthen the formula after solving and solve again
+    s.add_clause(sat::neg(a));
+    ASSERT_EQ(s.solve(), sat::Result::satisfiable);
+    EXPECT_TRUE(s.model_value(b));
+    s.add_clause(sat::neg(b));
+    EXPECT_EQ(s.solve(), sat::Result::unsatisfiable);
+    // once unsatisfiable, it stays unsatisfiable
+    EXPECT_EQ(s.solve(), sat::Result::unsatisfiable);
+}
+
+TEST(Properties, StrashIsIdempotent)
+{
+    for (const auto& bm : logic::table1_benchmarks())
+    {
+        const auto once = logic::strash(logic::to_xag(bm.build()));
+        const auto twice = logic::strash(once);
+        EXPECT_EQ(once.num_gates(), twice.num_gates()) << bm.name;
+        EXPECT_TRUE(logic::functionally_equivalent(once, twice)) << bm.name;
+    }
+}
+
+TEST(Properties, RewriteIsIdempotentAtFixpoint)
+{
+    logic::NpnDatabase db;
+    const auto net = logic::to_xag(logic::find_benchmark("c17")->build());
+    const auto once = logic::rewrite(net, db);
+    const auto twice = logic::rewrite(once, db);
+    EXPECT_EQ(once.num_gates(), twice.num_gates());
+}
+
+/// Exact synthesis must agree with brute-force minimality for every
+/// two-variable function (whose optimal sizes are known: 0 or 1 gates).
+TEST(Properties, ExactSynthesisIsMinimalForTwoVariableFunctions)
+{
+    for (unsigned bits = 0; bits < 16; ++bits)
+    {
+        logic::TruthTable f{2};
+        for (unsigned t = 0; t < 4; ++t)
+        {
+            f.set_bit(t, ((bits >> t) & 1U) != 0);
+        }
+        const auto net = logic::exact_synthesize(f);
+        ASSERT_TRUE(net.has_value()) << bits;
+        EXPECT_EQ(net->simulate()[0], f) << bits;
+        unsigned var = 0;
+        bool comp = false;
+        const bool trivial = f.is_const0() || f.is_const1() || f.is_projection(var, comp);
+        EXPECT_EQ(logic::count_two_input_gates(*net), trivial ? 0U : 1U) << bits;
+    }
+}
+
+/// The exact engine's area can never exceed the scalable engine's on
+/// instances both can solve (it enumerates sizes in ascending area).
+TEST(Properties, ExactNeverLosesToScalable)
+{
+    logic::NpnDatabase db;
+    for (const char* name : {"xor2", "par_gen", "par_check", "xor5_r1"})
+    {
+        const auto mapped =
+            logic::map_to_bestagon(logic::rewrite(logic::to_xag(logic::find_benchmark(name)->build()), db));
+        const auto exact = layout::exact_physical_design(mapped);
+        ASSERT_TRUE(exact.has_value()) << name;
+        EXPECT_GE(layout::minimum_height(mapped), 3U);
+        EXPECT_LE(exact->height() * exact->width(), 64U) << name;
+    }
+}
+
+/// Random XAGs: rewriting and mapping preserve functionality end to end.
+TEST(Properties, RandomXagsSurviveTheFrontEnd)
+{
+    std::mt19937 rng{20260705};
+    logic::NpnDatabase db;
+    for (int iter = 0; iter < 10; ++iter)
+    {
+        logic::LogicNetwork net;
+        std::vector<logic::LogicNetwork::NodeId> signals;
+        const unsigned num_pis = 3 + rng() % 3;
+        for (unsigned i = 0; i < num_pis; ++i)
+        {
+            signals.push_back(net.create_pi("x" + std::to_string(i)));
+        }
+        const unsigned num_gates = 4 + rng() % 10;
+        for (unsigned g = 0; g < num_gates; ++g)
+        {
+            const auto a = signals[rng() % signals.size()];
+            const auto b = signals[rng() % signals.size()];
+            switch (rng() % 3)
+            {
+                case 0: signals.push_back(net.create_and(a, b)); break;
+                case 1: signals.push_back(net.create_xor(a, b)); break;
+                default: signals.push_back(net.create_not(a)); break;
+            }
+        }
+        net.create_po(signals.back(), "f");
+
+        const auto rewritten = logic::rewrite(net, db);
+        EXPECT_TRUE(logic::functionally_equivalent(net, rewritten)) << "iter " << iter;
+        const auto mapped = logic::map_to_bestagon(rewritten);
+        EXPECT_TRUE(logic::functionally_equivalent(net, mapped)) << "iter " << iter;
+        EXPECT_TRUE(mapped.is_bestagon_compliant()) << "iter " << iter;
+    }
+}
+
+}  // namespace

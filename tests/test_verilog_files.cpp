@@ -1,0 +1,35 @@
+#include "io/verilog.hpp"
+
+#include "logic/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace
+{
+
+using namespace bestagon;
+
+/// The shipped benchmarks/*.v files must parse and match the built-in
+/// netlists functionally.
+class VerilogFileTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(VerilogFileTest, FileMatchesBuiltinNetlist)
+{
+    const auto* bm = logic::find_benchmark(GetParam());
+    ASSERT_NE(bm, nullptr);
+    std::ifstream in{std::string{BESTAGON_BENCHMARK_DIR} + "/" + GetParam() + ".v"};
+    ASSERT_TRUE(in.good()) << "missing benchmark file for " << GetParam();
+    const auto net = io::read_verilog(in);
+    EXPECT_TRUE(logic::functionally_equivalent(bm->build(), net));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shipped, VerilogFileTest,
+                         ::testing::Values("xor2", "xnor2", "par_gen", "mux21", "par_check",
+                                           "xor5_r1", "xor5_majority", "t", "t_5", "c17",
+                                           "majority", "majority_5_r1", "cm82a_5", "newtag"));
+
+}  // namespace

@@ -1,0 +1,239 @@
+/// \file design_gates.cpp
+/// \brief Offline gate-design runner — the tool that produced the canvas
+///        coordinates frozen in src/layout/bestagon_library.cpp.
+///
+/// Usage: design_gates <gate> [seed] [iterations]
+///   gate in {or, and, nor, nand, xor, xnor, inv, inv_diag, fanout, ha}
+///
+/// For each gate it builds the standard-tile skeleton (port pairs, wires,
+/// drivers, output perturbers, target function), then runs the stochastic
+/// canvas search (the stand-in for the paper's RL agent [28]) until the
+/// design passes the exhaustive operational check at the library calibration
+/// point (mu = -0.32 eV, eps_r = 5.6, lambda_TF = 5 nm). Successful canvases
+/// are printed in a form that can be pasted into the library source.
+///
+/// Gates whose non-inverting version is already in the library (nor, nand,
+/// xnor) keep that canvas in the skeleton and search only for the
+/// polarization-flipping dots near the output chain — the mechanism the
+/// designer discovered for the straight inverter.
+
+#include "layout/bestagon_library.hpp"
+#include "phys/gate_designer.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace bestagon;
+using phys::GateDesign;
+using phys::SiDBSite;
+
+namespace
+{
+
+logic::TruthTable tt(const char* bits)
+{
+    return logic::TruthTable::from_binary(bits);
+}
+
+void add_input_nw(GateDesign& d)
+{
+    for (const SiDBSite s :
+         {SiDBSite{15, 1, 0}, {15, 2, 0}, {20, 4, 1}, {22, 5, 0}, {25, 7, 1}, {27, 8, 0}})
+    {
+        d.sites.push_back(s);
+    }
+    d.input_pairs.push_back({{15, 1, 0}, {15, 2, 0}});
+    d.drivers.push_back({{15, -3, 0}, {15, -2, 0}});
+}
+
+void add_input_ne(GateDesign& d)
+{
+    for (const SiDBSite s :
+         {SiDBSite{45, 1, 0}, {45, 2, 0}, {40, 4, 1}, {38, 5, 0}, {35, 7, 1}, {33, 8, 0}})
+    {
+        d.sites.push_back(s);
+    }
+    d.input_pairs.push_back({{45, 1, 0}, {45, 2, 0}});
+    d.drivers.push_back({{45, -3, 0}, {45, -2, 0}});
+}
+
+void add_output_se(GateDesign& d)
+{
+    for (const SiDBSite s :
+         {SiDBSite{35, 14, 1}, {37, 15, 0}, {40, 17, 1}, {42, 18, 0}, {45, 21, 0}, {45, 22, 0}})
+    {
+        d.sites.push_back(s);
+    }
+    d.output_pairs.push_back({{45, 21, 0}, {45, 22, 0}});
+    d.output_perturbers.push_back({45, 25, 1});
+}
+
+void add_output_sw(GateDesign& d)
+{
+    for (const SiDBSite s :
+         {SiDBSite{25, 14, 1}, {23, 15, 0}, {20, 17, 1}, {18, 18, 0}, {15, 21, 0}, {15, 22, 0}})
+    {
+        d.sites.push_back(s);
+    }
+    d.output_pairs.push_back({{15, 21, 0}, {15, 22, 0}});
+    d.output_perturbers.push_back({15, 25, 1});
+}
+
+std::vector<SiDBSite> grid(int n0, int n1, int m0, int m1)
+{
+    std::vector<SiDBSite> cells;
+    for (int n = n0; n <= n1; ++n)
+    {
+        for (int m = m0; m <= m1; ++m)
+        {
+            cells.push_back({n, m, 0});
+            cells.push_back({n, m, 1});
+        }
+    }
+    return cells;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    if (argc < 2)
+    {
+        std::printf("usage: design_gates <or|and|nor|nand|xor|xnor|inv|inv_diag|fanout|ha> "
+                    "[seed] [iterations]\n");
+        return 2;
+    }
+    const std::string gate = argv[1];
+    const unsigned seed = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 1;
+    const unsigned iterations = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 20000;
+
+    phys::SimulationParameters params;  // library calibration point
+    GateDesign d;
+    d.name = gate;
+    std::vector<SiDBSite> candidates;
+    phys::DesignerOptions options;
+    options.seed = 0xbe57a60 + seed;
+    options.max_iterations = iterations;
+    options.min_canvas_dots = 1;
+    options.max_canvas_dots = 6;
+
+    if (gate == "or" || gate == "and" || gate == "xor")
+    {
+        add_input_nw(d);
+        add_input_ne(d);
+        add_output_se(d);
+        d.functions.push_back(tt(gate == "or" ? "1110" : gate == "and" ? "1000" : "0110"));
+        candidates = grid(20, 40, 9, 14);
+        options.max_canvas_dots = gate == "xor" ? 8 : 6;
+    }
+    else if (gate == "nor" || gate == "nand" || gate == "xnor")
+    {
+        // keep the validated non-inverting canvas; search for the
+        // polarization-flipping dots near the output chain
+        add_input_nw(d);
+        add_input_ne(d);
+        add_output_se(d);
+        if (gate == "nor")
+        {
+            d.sites.push_back({34, 9, 0});  // the OR canvas
+            d.functions.push_back(tt("0001"));
+        }
+        else if (gate == "nand")
+        {
+            d.sites.push_back({29, 10, 0});  // the AND canvas
+            d.functions.push_back(tt("0111"));
+        }
+        else
+        {
+            d.functions.push_back(tt("1001"));
+            options.max_canvas_dots = 8;
+        }
+        candidates = grid(28, 44, 13, 20);
+        options.min_canvas_dots = 2;
+    }
+    else if (gate == "inv")
+    {
+        for (const int m : {1, 5, 9})
+        {
+            d.sites.push_back({15, m, 0});
+            d.sites.push_back({15, m + 1, 0});
+        }
+        for (const int m : {17, 21})
+        {
+            d.sites.push_back({15, m, 0});
+            d.sites.push_back({15, m + 1, 0});
+        }
+        d.input_pairs.push_back({{15, 1, 0}, {15, 2, 0}});
+        d.output_pairs.push_back({{15, 21, 0}, {15, 22, 0}});
+        d.drivers.push_back({{15, -3, 0}, {15, -2, 0}});
+        d.output_perturbers.push_back({15, 25, 1});
+        d.functions.push_back(tt("01"));
+        candidates = grid(6, 28, 7, 16);
+        options.min_canvas_dots = 2;
+        options.max_canvas_dots = 7;
+    }
+    else if (gate == "inv_diag")
+    {
+        d.sites.push_back({15, 1, 0});
+        d.sites.push_back({15, 2, 0});
+        d.sites.push_back({15, 5, 0});
+        d.sites.push_back({15, 6, 0});
+        d.sites.push_back({40, 17, 1});
+        d.sites.push_back({42, 18, 0});
+        d.sites.push_back({45, 21, 0});
+        d.sites.push_back({45, 22, 0});
+        d.input_pairs.push_back({{15, 1, 0}, {15, 2, 0}});
+        d.output_pairs.push_back({{45, 21, 0}, {45, 22, 0}});
+        d.drivers.push_back({{15, -3, 0}, {15, -2, 0}});
+        d.output_perturbers.push_back({45, 25, 1});
+        d.functions.push_back(tt("01"));
+        candidates = grid(12, 40, 7, 16);
+        options.min_canvas_dots = 2;
+        options.max_canvas_dots = 8;
+    }
+    else if (gate == "fanout")
+    {
+        add_input_nw(d);
+        add_output_sw(d);
+        add_output_se(d);
+        d.functions.push_back(tt("10"));
+        d.functions.push_back(tt("10"));
+        candidates = grid(20, 40, 8, 14);
+    }
+    else if (gate == "ha")
+    {
+        add_input_nw(d);
+        add_input_ne(d);
+        add_output_sw(d);
+        add_output_se(d);
+        d.functions.push_back(tt("0110"));  // sum -> SW
+        d.functions.push_back(tt("1000"));  // carry -> SE
+        candidates = grid(20, 40, 9, 14);
+        options.min_canvas_dots = 2;
+        options.max_canvas_dots = 8;
+    }
+    else
+    {
+        std::printf("unknown gate '%s'\n", gate.c_str());
+        return 2;
+    }
+
+    std::printf("designing '%s' (seed %u, %u iterations, %zu candidates)...\n", gate.c_str(), seed,
+                iterations, candidates.size());
+    const auto result = phys::design_gate(d, candidates, options, params);
+    if (!result.has_value())
+    {
+        std::printf("GATE %s seed=%u FAILED after %u iterations\n", gate.c_str(), seed, iterations);
+        return 1;
+    }
+    std::printf("GATE %s seed=%u OK after %u iterations; canvas:", gate.c_str(), seed,
+                result->iterations_used);
+    for (const auto& s : result->canvas)
+    {
+        std::printf(" {%d, %d, %d},", s.n, s.m, s.l);
+    }
+    std::printf("\n");
+    return 0;
+}
