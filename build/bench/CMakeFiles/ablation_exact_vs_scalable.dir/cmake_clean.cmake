@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exact_vs_scalable.dir/ablation_exact_vs_scalable.cpp.o"
+  "CMakeFiles/ablation_exact_vs_scalable.dir/ablation_exact_vs_scalable.cpp.o.d"
+  "ablation_exact_vs_scalable"
+  "ablation_exact_vs_scalable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exact_vs_scalable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

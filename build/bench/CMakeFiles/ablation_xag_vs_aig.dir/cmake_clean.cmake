@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_xag_vs_aig.dir/ablation_xag_vs_aig.cpp.o"
+  "CMakeFiles/ablation_xag_vs_aig.dir/ablation_xag_vs_aig.cpp.o.d"
+  "ablation_xag_vs_aig"
+  "ablation_xag_vs_aig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xag_vs_aig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

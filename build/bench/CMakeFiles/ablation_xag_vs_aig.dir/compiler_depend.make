@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_xag_vs_aig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_xag_vs_aig.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_or_gate.dir/fig1_or_gate.cpp.o"
+  "CMakeFiles/fig1_or_gate.dir/fig1_or_gate.cpp.o.d"
+  "fig1_or_gate"
+  "fig1_or_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_or_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

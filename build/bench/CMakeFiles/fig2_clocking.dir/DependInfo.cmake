@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_clocking.cpp" "bench/CMakeFiles/fig2_clocking.dir/fig2_clocking.cpp.o" "gcc" "bench/CMakeFiles/fig2_clocking.dir/fig2_clocking.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bestagon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/bestagon_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/bestagon_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/bestagon_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/bestagon_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/bestagon_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

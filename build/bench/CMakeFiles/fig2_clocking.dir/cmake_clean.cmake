@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_clocking.dir/fig2_clocking.cpp.o"
+  "CMakeFiles/fig2_clocking.dir/fig2_clocking.cpp.o.d"
+  "fig2_clocking"
+  "fig2_clocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_clocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

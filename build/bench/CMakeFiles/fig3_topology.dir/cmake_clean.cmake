@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_topology.dir/fig3_topology.cpp.o"
+  "CMakeFiles/fig3_topology.dir/fig3_topology.cpp.o.d"
+  "fig3_topology"
+  "fig3_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

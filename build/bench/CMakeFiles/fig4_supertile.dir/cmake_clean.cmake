@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_supertile.dir/fig4_supertile.cpp.o"
+  "CMakeFiles/fig4_supertile.dir/fig4_supertile.cpp.o.d"
+  "fig4_supertile"
+  "fig4_supertile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_supertile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

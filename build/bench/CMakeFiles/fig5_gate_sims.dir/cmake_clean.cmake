@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_gate_sims.dir/fig5_gate_sims.cpp.o"
+  "CMakeFiles/fig5_gate_sims.dir/fig5_gate_sims.cpp.o.d"
+  "fig5_gate_sims"
+  "fig5_gate_sims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_gate_sims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_par_check.dir/fig6_par_check.cpp.o"
+  "CMakeFiles/fig6_par_check.dir/fig6_par_check.cpp.o.d"
+  "fig6_par_check"
+  "fig6_par_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_par_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_layouts.dir/table1_layouts.cpp.o"
+  "CMakeFiles/table1_layouts.dir/table1_layouts.cpp.o.d"
+  "table1_layouts"
+  "table1_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

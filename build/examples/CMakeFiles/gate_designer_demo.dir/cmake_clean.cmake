@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_designer_demo.dir/gate_designer_demo.cpp.o"
+  "CMakeFiles/gate_designer_demo.dir/gate_designer_demo.cpp.o.d"
+  "gate_designer_demo"
+  "gate_designer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_designer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operational_domain_explorer.dir/operational_domain_explorer.cpp.o"
+  "CMakeFiles/operational_domain_explorer.dir/operational_domain_explorer.cpp.o.d"
+  "operational_domain_explorer"
+  "operational_domain_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operational_domain_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

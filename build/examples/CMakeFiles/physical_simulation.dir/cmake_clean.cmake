@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/physical_simulation.dir/physical_simulation.cpp.o"
+  "CMakeFiles/physical_simulation.dir/physical_simulation.cpp.o.d"
+  "physical_simulation"
+  "physical_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/physical_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

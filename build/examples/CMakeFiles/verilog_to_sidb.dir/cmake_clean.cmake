@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_to_sidb.dir/verilog_to_sidb.cpp.o"
+  "CMakeFiles/verilog_to_sidb.dir/verilog_to_sidb.cpp.o.d"
+  "verilog_to_sidb"
+  "verilog_to_sidb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_to_sidb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for verilog_to_sidb.
+# This may be replaced when dependencies are built.

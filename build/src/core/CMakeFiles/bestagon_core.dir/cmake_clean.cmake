@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bestagon_core.dir/design_flow.cpp.o"
+  "CMakeFiles/bestagon_core.dir/design_flow.cpp.o.d"
+  "libbestagon_core.a"
+  "libbestagon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bestagon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

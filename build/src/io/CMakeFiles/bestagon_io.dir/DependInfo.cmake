@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/bench_reader.cpp" "src/io/CMakeFiles/bestagon_io.dir/bench_reader.cpp.o" "gcc" "src/io/CMakeFiles/bestagon_io.dir/bench_reader.cpp.o.d"
+  "/root/repo/src/io/dot_writer.cpp" "src/io/CMakeFiles/bestagon_io.dir/dot_writer.cpp.o" "gcc" "src/io/CMakeFiles/bestagon_io.dir/dot_writer.cpp.o.d"
+  "/root/repo/src/io/render.cpp" "src/io/CMakeFiles/bestagon_io.dir/render.cpp.o" "gcc" "src/io/CMakeFiles/bestagon_io.dir/render.cpp.o.d"
+  "/root/repo/src/io/sqd_writer.cpp" "src/io/CMakeFiles/bestagon_io.dir/sqd_writer.cpp.o" "gcc" "src/io/CMakeFiles/bestagon_io.dir/sqd_writer.cpp.o.d"
+  "/root/repo/src/io/svg_writer.cpp" "src/io/CMakeFiles/bestagon_io.dir/svg_writer.cpp.o" "gcc" "src/io/CMakeFiles/bestagon_io.dir/svg_writer.cpp.o.d"
+  "/root/repo/src/io/verilog.cpp" "src/io/CMakeFiles/bestagon_io.dir/verilog.cpp.o" "gcc" "src/io/CMakeFiles/bestagon_io.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/bestagon_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/bestagon_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/bestagon_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/bestagon_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bestagon_io.dir/bench_reader.cpp.o"
+  "CMakeFiles/bestagon_io.dir/bench_reader.cpp.o.d"
+  "CMakeFiles/bestagon_io.dir/dot_writer.cpp.o"
+  "CMakeFiles/bestagon_io.dir/dot_writer.cpp.o.d"
+  "CMakeFiles/bestagon_io.dir/render.cpp.o"
+  "CMakeFiles/bestagon_io.dir/render.cpp.o.d"
+  "CMakeFiles/bestagon_io.dir/sqd_writer.cpp.o"
+  "CMakeFiles/bestagon_io.dir/sqd_writer.cpp.o.d"
+  "CMakeFiles/bestagon_io.dir/svg_writer.cpp.o"
+  "CMakeFiles/bestagon_io.dir/svg_writer.cpp.o.d"
+  "CMakeFiles/bestagon_io.dir/verilog.cpp.o"
+  "CMakeFiles/bestagon_io.dir/verilog.cpp.o.d"
+  "libbestagon_io.a"
+  "libbestagon_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bestagon_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/apply_gate_library.cpp" "src/layout/CMakeFiles/bestagon_layout.dir/apply_gate_library.cpp.o" "gcc" "src/layout/CMakeFiles/bestagon_layout.dir/apply_gate_library.cpp.o.d"
+  "/root/repo/src/layout/bestagon_library.cpp" "src/layout/CMakeFiles/bestagon_layout.dir/bestagon_library.cpp.o" "gcc" "src/layout/CMakeFiles/bestagon_layout.dir/bestagon_library.cpp.o.d"
+  "/root/repo/src/layout/clocking.cpp" "src/layout/CMakeFiles/bestagon_layout.dir/clocking.cpp.o" "gcc" "src/layout/CMakeFiles/bestagon_layout.dir/clocking.cpp.o.d"
+  "/root/repo/src/layout/design_rules.cpp" "src/layout/CMakeFiles/bestagon_layout.dir/design_rules.cpp.o" "gcc" "src/layout/CMakeFiles/bestagon_layout.dir/design_rules.cpp.o.d"
+  "/root/repo/src/layout/equivalence_checking.cpp" "src/layout/CMakeFiles/bestagon_layout.dir/equivalence_checking.cpp.o" "gcc" "src/layout/CMakeFiles/bestagon_layout.dir/equivalence_checking.cpp.o.d"
+  "/root/repo/src/layout/exact_physical_design.cpp" "src/layout/CMakeFiles/bestagon_layout.dir/exact_physical_design.cpp.o" "gcc" "src/layout/CMakeFiles/bestagon_layout.dir/exact_physical_design.cpp.o.d"
+  "/root/repo/src/layout/gate_level_layout.cpp" "src/layout/CMakeFiles/bestagon_layout.dir/gate_level_layout.cpp.o" "gcc" "src/layout/CMakeFiles/bestagon_layout.dir/gate_level_layout.cpp.o.d"
+  "/root/repo/src/layout/scalable_physical_design.cpp" "src/layout/CMakeFiles/bestagon_layout.dir/scalable_physical_design.cpp.o" "gcc" "src/layout/CMakeFiles/bestagon_layout.dir/scalable_physical_design.cpp.o.d"
+  "/root/repo/src/layout/supertile.cpp" "src/layout/CMakeFiles/bestagon_layout.dir/supertile.cpp.o" "gcc" "src/layout/CMakeFiles/bestagon_layout.dir/supertile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/bestagon_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/bestagon_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/bestagon_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bestagon_layout.dir/apply_gate_library.cpp.o"
+  "CMakeFiles/bestagon_layout.dir/apply_gate_library.cpp.o.d"
+  "CMakeFiles/bestagon_layout.dir/bestagon_library.cpp.o"
+  "CMakeFiles/bestagon_layout.dir/bestagon_library.cpp.o.d"
+  "CMakeFiles/bestagon_layout.dir/clocking.cpp.o"
+  "CMakeFiles/bestagon_layout.dir/clocking.cpp.o.d"
+  "CMakeFiles/bestagon_layout.dir/design_rules.cpp.o"
+  "CMakeFiles/bestagon_layout.dir/design_rules.cpp.o.d"
+  "CMakeFiles/bestagon_layout.dir/equivalence_checking.cpp.o"
+  "CMakeFiles/bestagon_layout.dir/equivalence_checking.cpp.o.d"
+  "CMakeFiles/bestagon_layout.dir/exact_physical_design.cpp.o"
+  "CMakeFiles/bestagon_layout.dir/exact_physical_design.cpp.o.d"
+  "CMakeFiles/bestagon_layout.dir/gate_level_layout.cpp.o"
+  "CMakeFiles/bestagon_layout.dir/gate_level_layout.cpp.o.d"
+  "CMakeFiles/bestagon_layout.dir/scalable_physical_design.cpp.o"
+  "CMakeFiles/bestagon_layout.dir/scalable_physical_design.cpp.o.d"
+  "CMakeFiles/bestagon_layout.dir/supertile.cpp.o"
+  "CMakeFiles/bestagon_layout.dir/supertile.cpp.o.d"
+  "libbestagon_layout.a"
+  "libbestagon_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bestagon_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

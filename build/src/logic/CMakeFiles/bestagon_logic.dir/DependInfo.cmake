@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/benchmarks.cpp" "src/logic/CMakeFiles/bestagon_logic.dir/benchmarks.cpp.o" "gcc" "src/logic/CMakeFiles/bestagon_logic.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/logic/cuts.cpp" "src/logic/CMakeFiles/bestagon_logic.dir/cuts.cpp.o" "gcc" "src/logic/CMakeFiles/bestagon_logic.dir/cuts.cpp.o.d"
+  "/root/repo/src/logic/exact_synthesis.cpp" "src/logic/CMakeFiles/bestagon_logic.dir/exact_synthesis.cpp.o" "gcc" "src/logic/CMakeFiles/bestagon_logic.dir/exact_synthesis.cpp.o.d"
+  "/root/repo/src/logic/network.cpp" "src/logic/CMakeFiles/bestagon_logic.dir/network.cpp.o" "gcc" "src/logic/CMakeFiles/bestagon_logic.dir/network.cpp.o.d"
+  "/root/repo/src/logic/npn.cpp" "src/logic/CMakeFiles/bestagon_logic.dir/npn.cpp.o" "gcc" "src/logic/CMakeFiles/bestagon_logic.dir/npn.cpp.o.d"
+  "/root/repo/src/logic/rewriting.cpp" "src/logic/CMakeFiles/bestagon_logic.dir/rewriting.cpp.o" "gcc" "src/logic/CMakeFiles/bestagon_logic.dir/rewriting.cpp.o.d"
+  "/root/repo/src/logic/tech_mapping.cpp" "src/logic/CMakeFiles/bestagon_logic.dir/tech_mapping.cpp.o" "gcc" "src/logic/CMakeFiles/bestagon_logic.dir/tech_mapping.cpp.o.d"
+  "/root/repo/src/logic/truth_table.cpp" "src/logic/CMakeFiles/bestagon_logic.dir/truth_table.cpp.o" "gcc" "src/logic/CMakeFiles/bestagon_logic.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/bestagon_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

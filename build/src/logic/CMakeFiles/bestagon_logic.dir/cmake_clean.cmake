@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bestagon_logic.dir/benchmarks.cpp.o"
+  "CMakeFiles/bestagon_logic.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/bestagon_logic.dir/cuts.cpp.o"
+  "CMakeFiles/bestagon_logic.dir/cuts.cpp.o.d"
+  "CMakeFiles/bestagon_logic.dir/exact_synthesis.cpp.o"
+  "CMakeFiles/bestagon_logic.dir/exact_synthesis.cpp.o.d"
+  "CMakeFiles/bestagon_logic.dir/network.cpp.o"
+  "CMakeFiles/bestagon_logic.dir/network.cpp.o.d"
+  "CMakeFiles/bestagon_logic.dir/npn.cpp.o"
+  "CMakeFiles/bestagon_logic.dir/npn.cpp.o.d"
+  "CMakeFiles/bestagon_logic.dir/rewriting.cpp.o"
+  "CMakeFiles/bestagon_logic.dir/rewriting.cpp.o.d"
+  "CMakeFiles/bestagon_logic.dir/tech_mapping.cpp.o"
+  "CMakeFiles/bestagon_logic.dir/tech_mapping.cpp.o.d"
+  "CMakeFiles/bestagon_logic.dir/truth_table.cpp.o"
+  "CMakeFiles/bestagon_logic.dir/truth_table.cpp.o.d"
+  "libbestagon_logic.a"
+  "libbestagon_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bestagon_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

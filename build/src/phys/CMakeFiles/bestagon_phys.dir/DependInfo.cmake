@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/exhaustive.cpp" "src/phys/CMakeFiles/bestagon_phys.dir/exhaustive.cpp.o" "gcc" "src/phys/CMakeFiles/bestagon_phys.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/phys/gate_designer.cpp" "src/phys/CMakeFiles/bestagon_phys.dir/gate_designer.cpp.o" "gcc" "src/phys/CMakeFiles/bestagon_phys.dir/gate_designer.cpp.o.d"
+  "/root/repo/src/phys/model.cpp" "src/phys/CMakeFiles/bestagon_phys.dir/model.cpp.o" "gcc" "src/phys/CMakeFiles/bestagon_phys.dir/model.cpp.o.d"
+  "/root/repo/src/phys/operational.cpp" "src/phys/CMakeFiles/bestagon_phys.dir/operational.cpp.o" "gcc" "src/phys/CMakeFiles/bestagon_phys.dir/operational.cpp.o.d"
+  "/root/repo/src/phys/operational_domain.cpp" "src/phys/CMakeFiles/bestagon_phys.dir/operational_domain.cpp.o" "gcc" "src/phys/CMakeFiles/bestagon_phys.dir/operational_domain.cpp.o.d"
+  "/root/repo/src/phys/simanneal.cpp" "src/phys/CMakeFiles/bestagon_phys.dir/simanneal.cpp.o" "gcc" "src/phys/CMakeFiles/bestagon_phys.dir/simanneal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logic/CMakeFiles/bestagon_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/bestagon_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

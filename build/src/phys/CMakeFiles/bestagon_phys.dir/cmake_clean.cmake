@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bestagon_phys.dir/exhaustive.cpp.o"
+  "CMakeFiles/bestagon_phys.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/bestagon_phys.dir/gate_designer.cpp.o"
+  "CMakeFiles/bestagon_phys.dir/gate_designer.cpp.o.d"
+  "CMakeFiles/bestagon_phys.dir/model.cpp.o"
+  "CMakeFiles/bestagon_phys.dir/model.cpp.o.d"
+  "CMakeFiles/bestagon_phys.dir/operational.cpp.o"
+  "CMakeFiles/bestagon_phys.dir/operational.cpp.o.d"
+  "CMakeFiles/bestagon_phys.dir/operational_domain.cpp.o"
+  "CMakeFiles/bestagon_phys.dir/operational_domain.cpp.o.d"
+  "CMakeFiles/bestagon_phys.dir/simanneal.cpp.o"
+  "CMakeFiles/bestagon_phys.dir/simanneal.cpp.o.d"
+  "libbestagon_phys.a"
+  "libbestagon_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bestagon_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

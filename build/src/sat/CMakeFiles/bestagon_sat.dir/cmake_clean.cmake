@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bestagon_sat.dir/dimacs.cpp.o"
+  "CMakeFiles/bestagon_sat.dir/dimacs.cpp.o.d"
+  "CMakeFiles/bestagon_sat.dir/encodings.cpp.o"
+  "CMakeFiles/bestagon_sat.dir/encodings.cpp.o.d"
+  "CMakeFiles/bestagon_sat.dir/solver.cpp.o"
+  "CMakeFiles/bestagon_sat.dir/solver.cpp.o.d"
+  "libbestagon_sat.a"
+  "libbestagon_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bestagon_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_apply_gate_library.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_apply_gate_library.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_apply_gate_library.cpp.o.d"
+  "/root/repo/tests/test_bench_reader.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_bench_reader.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_bench_reader.cpp.o.d"
+  "/root/repo/tests/test_benchmarks.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_benchmarks.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_benchmarks.cpp.o.d"
+  "/root/repo/tests/test_bestagon_library.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_bestagon_library.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_bestagon_library.cpp.o.d"
+  "/root/repo/tests/test_clocking.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_clocking.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_clocking.cpp.o.d"
+  "/root/repo/tests/test_coordinates.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_coordinates.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_coordinates.cpp.o.d"
+  "/root/repo/tests/test_cuts.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_cuts.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_cuts.cpp.o.d"
+  "/root/repo/tests/test_design_flow.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_design_flow.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_design_flow.cpp.o.d"
+  "/root/repo/tests/test_design_rules.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_design_rules.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_design_rules.cpp.o.d"
+  "/root/repo/tests/test_dimacs.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_dimacs.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_dimacs.cpp.o.d"
+  "/root/repo/tests/test_encodings.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_encodings.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_encodings.cpp.o.d"
+  "/root/repo/tests/test_equivalence_checking.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_equivalence_checking.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_equivalence_checking.cpp.o.d"
+  "/root/repo/tests/test_exact_physical_design.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_exact_physical_design.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_exact_physical_design.cpp.o.d"
+  "/root/repo/tests/test_exact_synthesis.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_exact_synthesis.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_exact_synthesis.cpp.o.d"
+  "/root/repo/tests/test_gate_level_layout.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_gate_level_layout.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_gate_level_layout.cpp.o.d"
+  "/root/repo/tests/test_ground_state.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_ground_state.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_ground_state.cpp.o.d"
+  "/root/repo/tests/test_lattice.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_lattice.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_lattice.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_npn.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_npn.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_npn.cpp.o.d"
+  "/root/repo/tests/test_operational.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_operational.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_operational.cpp.o.d"
+  "/root/repo/tests/test_operational_domain.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_operational_domain.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_operational_domain.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rewriting.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_rewriting.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_rewriting.cpp.o.d"
+  "/root/repo/tests/test_sat_solver.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_sat_solver.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_sat_solver.cpp.o.d"
+  "/root/repo/tests/test_scalable_physical_design.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_scalable_physical_design.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_scalable_physical_design.cpp.o.d"
+  "/root/repo/tests/test_supertile.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_supertile.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_supertile.cpp.o.d"
+  "/root/repo/tests/test_tech_mapping.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_tech_mapping.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_tech_mapping.cpp.o.d"
+  "/root/repo/tests/test_tile_composition.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_tile_composition.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_tile_composition.cpp.o.d"
+  "/root/repo/tests/test_truth_table.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_truth_table.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_truth_table.cpp.o.d"
+  "/root/repo/tests/test_verilog.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_verilog.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_verilog.cpp.o.d"
+  "/root/repo/tests/test_verilog_files.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_verilog_files.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_verilog_files.cpp.o.d"
+  "/root/repo/tests/test_writers.cpp" "tests/CMakeFiles/bestagon_tests.dir/test_writers.cpp.o" "gcc" "tests/CMakeFiles/bestagon_tests.dir/test_writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bestagon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/bestagon_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/bestagon_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/bestagon_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/bestagon_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/bestagon_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

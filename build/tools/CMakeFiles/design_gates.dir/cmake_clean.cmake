@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_gates.dir/design_gates.cpp.o"
+  "CMakeFiles/design_gates.dir/design_gates.cpp.o.d"
+  "design_gates"
+  "design_gates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
