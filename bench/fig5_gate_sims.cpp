@@ -43,9 +43,10 @@ int main()
                 ports += layout::port_name(*p);
             }
         }
-        std::printf("%-12s %-10s %8u / %-8u %-10s %s\n", g.design.name.c_str(), ports.c_str(),
-                    r.patterns_correct, r.patterns_total, r.operational ? "YES" : "no",
-                    g.simulation_validated ? "yes" : "-");
+        std::printf("%-12s %-10s %8llu / %-8llu %-10s %s\n", g.design.name.c_str(), ports.c_str(),
+                    static_cast<unsigned long long>(r.patterns_correct),
+                    static_cast<unsigned long long>(r.patterns_total),
+                    r.operational ? "YES" : "no", g.simulation_validated ? "yes" : "-");
         ++total;
         if (r.operational)
         {

@@ -59,8 +59,9 @@ int main()
     }
 
     const auto check = phys::check_operational(result->design, params, phys::Engine::exhaustive);
-    std::printf("operational check: %u / %u patterns correct\n", check.patterns_correct,
-                check.patterns_total);
+    std::printf("operational check: %llu / %llu patterns correct\n",
+                static_cast<unsigned long long>(check.patterns_correct),
+                static_cast<unsigned long long>(check.patterns_total));
 
     std::ofstream sqd{"designed_or.sqd"};
     io::write_sqd(sqd, result->design);

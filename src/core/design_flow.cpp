@@ -1,9 +1,11 @@
 #include "core/design_flow.hpp"
 
+#include "core/thread_pool.hpp"
 #include "io/verilog.hpp"
 #include "layout/scalable_physical_design.hpp"
 #include "logic/rewriting.hpp"
 #include "logic/tech_mapping.hpp"
+#include "phys/operational.hpp"
 
 namespace bestagon::core
 {
@@ -68,6 +70,23 @@ FlowResult run_design_flow(const logic::LogicNetwork& specification, const FlowO
 
     // (7) Bestagon library application -> dot-accurate SiDB layout
     result.sidb = layout::apply_gate_library(*result.layout, &result.apply_stats);
+
+    // (7b) ground-state re-validation of the distinct tiles in use; the
+    // checks are independent physical simulations and fan out in parallel
+    if (options.validate_gates)
+    {
+        const auto& used = result.apply_stats.implementations_used;
+        result.gate_validation.resize(used.size());
+        parallel_for(options.sim_params.num_threads, used.size(), [&](std::size_t i) {
+            const auto check =
+                phys::check_operational(used[i]->design, options.sim_params, phys::Engine::exhaustive);
+            GateValidation& v = result.gate_validation[i];
+            v.name = used[i]->design.name;
+            v.operational = check.operational;
+            v.patterns_correct = check.patterns_correct;
+            v.patterns_total = check.patterns_total;
+        });
+    }
 
     return result;
 }

@@ -9,6 +9,8 @@
 ///   (5) SAT-based equivalence checking of specification vs. layout,
 ///   (6) super-tile merging via clock-zone expansion,
 ///   (7) application of the Bestagon library -> dot-accurate SiDB layout,
+///   (7b) optional ground-state re-validation of every distinct tile the
+///        layout instantiates (parallel physical simulation),
 ///   (8) design-file generation (.sqd / SVG).
 ///
 /// This is the library's primary public entry point.
@@ -23,9 +25,11 @@
 #include "layout/sidb_layout.hpp"
 #include "layout/supertile.hpp"
 #include "logic/network.hpp"
+#include "phys/model.hpp"
 
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace bestagon::core
 {
@@ -44,6 +48,25 @@ struct FlowOptions
     PhysicalDesignEngine engine{PhysicalDesignEngine::exact_with_fallback};
     layout::ExactPDOptions exact_options{};
     unsigned supertile_expansion{0};            ///< 0 = minimum feasible factor
+
+    /// Step (7b): re-run the ground-state operational check on every
+    /// distinct library tile the layout uses (off by default — the library
+    /// ships pre-validated designs; turn on for parameter studies).
+    bool validate_gates{false};
+
+    /// Physical model and thread count for step (7b). sim_params.num_threads
+    /// fans the independent tile checks out across workers (0 = hardware
+    /// concurrency, 1 = serial); results are thread-count invariant.
+    phys::SimulationParameters sim_params{};
+};
+
+/// Outcome of re-validating one library tile in step (7b).
+struct GateValidation
+{
+    std::string name;                  ///< library design name
+    bool operational{false};
+    std::uint64_t patterns_correct{0};
+    std::uint64_t patterns_total{0};
 };
 
 /// All artifacts and statistics produced by one flow run.
@@ -60,6 +83,7 @@ struct FlowResult
     layout::ApplyStats apply_stats;
     layout::ExactPDStats pd_stats;
     std::string engine_used;                    ///< "exact" or "scalable"
+    std::vector<GateValidation> gate_validation;  ///< step (7b), if enabled
 
     [[nodiscard]] bool success() const noexcept
     {

@@ -1,0 +1,191 @@
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace bestagon::core
+{
+
+namespace
+{
+
+thread_local bool tls_inside_worker = false;
+
+/// Shared state of one `run` call: an atomic work counter plus completion
+/// bookkeeping for the helper tasks enqueued on the pool.
+struct ParallelJob
+{
+    std::atomic<std::size_t> next{0};
+    std::size_t count{0};
+    const std::function<void(std::size_t)>* body{nullptr};
+
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending{0};  ///< helper tasks still running
+    std::exception_ptr error;
+
+    void work() noexcept
+    {
+        for (;;)
+        {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+            {
+                return;
+            }
+            try
+            {
+                (*body)(i);
+            }
+            catch (...)
+            {
+                const std::lock_guard<std::mutex> lock{mutex};
+                if (!error)
+                {
+                    error = std::current_exception();
+                }
+            }
+        }
+    }
+};
+
+}  // namespace
+
+unsigned resolve_thread_count(unsigned requested) noexcept
+{
+    if (requested == 0)
+    {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw == 0 ? 1U : hw;
+    }
+    return std::min(requested, 256U);
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) noexcept
+{
+    // splitmix64 finalizer over base + (index+1) * golden gamma
+    std::uint64_t z = base + (index + 1) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+ThreadPool::ThreadPool(unsigned num_threads)
+{
+    const unsigned n = resolve_thread_count(num_threads);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+    {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (auto& w : workers_)
+    {
+        w.join();
+    }
+}
+
+void ThreadPool::worker_loop()
+{
+    tls_inside_worker = true;
+    for (;;)
+    {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock{mutex_};
+            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+            {
+                return;  // stop requested and queue drained
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& body,
+                     unsigned max_workers)
+{
+    const std::size_t workers =
+        std::min({static_cast<std::size_t>(std::max(1U, max_workers)), count, size() + 1});
+
+    auto job = std::make_shared<ParallelJob>();
+    job->count = count;
+    job->body = &body;
+
+    const std::size_t helpers = workers - 1;
+    job->pending = helpers;
+    for (std::size_t h = 0; h < helpers; ++h)
+    {
+        enqueue([job] {
+            job->work();
+            {
+                const std::lock_guard<std::mutex> lock{job->mutex};
+                --job->pending;
+            }
+            job->done.notify_one();
+        });
+    }
+
+    job->work();  // the calling thread participates
+
+    std::unique_lock<std::mutex> lock{job->mutex};
+    job->done.wait(lock, [&job] { return job->pending == 0; });
+    if (job->error)
+    {
+        std::rethrow_exception(job->error);
+    }
+}
+
+ThreadPool& ThreadPool::shared()
+{
+    static ThreadPool pool{std::max(4U, resolve_thread_count(0))};
+    return pool;
+}
+
+bool ThreadPool::inside_worker() noexcept
+{
+    return tls_inside_worker;
+}
+
+void parallel_for(unsigned num_threads, std::size_t count,
+                  const std::function<void(std::size_t)>& body)
+{
+    if (count == 0)
+    {
+        return;
+    }
+    const unsigned resolved = resolve_thread_count(num_threads);
+    if (resolved <= 1 || count == 1 || ThreadPool::inside_worker())
+    {
+        for (std::size_t i = 0; i < count; ++i)
+        {
+            body(i);
+        }
+        return;
+    }
+    ThreadPool::shared().run(count, body, resolved);
+}
+
+}  // namespace bestagon::core

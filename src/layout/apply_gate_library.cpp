@@ -2,6 +2,7 @@
 
 #include "phys/lattice.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace bestagon::layout
@@ -38,6 +39,11 @@ SiDBLayout apply_gate_library(const GateLevelLayout& layout, ApplyStats* stats)
             if (!impl.simulation_validated)
             {
                 ++stats->unvalidated_tiles;
+            }
+            auto& used = stats->implementations_used;
+            if (std::find(used.begin(), used.end(), &impl) == used.end())
+            {
+                used.push_back(&impl);
             }
         }
     };

@@ -18,6 +18,11 @@ struct ApplyStats
     std::size_t tiles_mapped{0};
     std::size_t crossings_mapped{0};
     std::size_t unvalidated_tiles{0};  ///< tiles whose design lacks simulation validation
+
+    /// Distinct library implementations instantiated by the layout, in
+    /// first-use order (pointers into the BestagonLibrary singleton). Lets
+    /// the flow re-validate exactly the tiles a design depends on.
+    std::vector<const GateImplementation*> implementations_used;
 };
 
 /// Maps every occupied tile of \p layout to its dot-accurate standard tile.

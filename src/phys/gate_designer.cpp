@@ -1,7 +1,12 @@
 #include "phys/gate_designer.hpp"
 
+#include "core/thread_pool.hpp"
+
 #include <algorithm>
+#include <optional>
 #include <random>
+#include <stdexcept>
+#include <string>
 
 namespace bestagon::phys
 {
@@ -10,59 +15,41 @@ namespace
 {
 
 /// Score of a candidate design: number of correct patterns, with partial
-/// credit for defined-but-wrong outputs over undefined ones.
+/// credit for defined-but-wrong outputs over undefined ones. The patterns
+/// are independent simulations and are scored concurrently.
 unsigned score_design(const GateDesign& design, const SimulationParameters& params)
 {
-    unsigned score = 0;
-    const unsigned patterns = 1U << design.num_inputs();
-    for (std::uint64_t p = 0; p < patterns; ++p)
-    {
+    const std::uint64_t patterns = 1ULL << design.num_inputs();
+    std::vector<unsigned> pattern_scores(patterns, 0);
+    core::parallel_for(params.num_threads, patterns, [&](std::size_t p) {
         const auto r = simulate_gate_pattern(design, p, params, Engine::exhaustive);
         if (r.correct)
         {
-            score += 2;
+            pattern_scores[p] = 2;
         }
         else if (std::none_of(r.output_states.begin(), r.output_states.end(),
                               [](PairState s) { return s == PairState::undefined; }))
         {
-            score += 1;  // defined but wrong: closer than undefined
+            pattern_scores[p] = 1;  // defined but wrong: closer than undefined
         }
+    });
+    unsigned score = 0;
+    for (const unsigned s : pattern_scores)
+    {
+        score += s;
     }
     return score;
 }
 
-}  // namespace
-
-std::optional<DesignerResult> design_gate(const GateDesign& skeleton,
-                                          const std::vector<SiDBSite>& candidates,
-                                          const DesignerOptions& options,
-                                          const SimulationParameters& params)
+/// One full stochastic search from a given seed — the legacy serial loop.
+std::optional<DesignerResult> run_search(const GateDesign& skeleton,
+                                         const std::vector<SiDBSite>& usable,
+                                         const DesignerOptions& options,
+                                         const SimulationParameters& params, std::uint64_t seed)
 {
-    std::mt19937_64 rng{options.seed};
-    const unsigned patterns = 1U << skeleton.num_inputs();
-    const unsigned perfect = 2 * patterns;
-
-    // exclude candidates that collide with skeleton sites, drivers or perturbers
-    std::vector<SiDBSite> forbidden = skeleton.sites;
-    for (const auto& drv : skeleton.drivers)
-    {
-        forbidden.push_back(drv.far_site);
-        forbidden.push_back(drv.near_site);
-    }
-    forbidden.insert(forbidden.end(), skeleton.output_perturbers.begin(), skeleton.output_perturbers.end());
-    std::vector<SiDBSite> usable;
-    usable.reserve(candidates.size());
-    for (const auto& c : candidates)
-    {
-        if (std::find(forbidden.begin(), forbidden.end(), c) == forbidden.end())
-        {
-            usable.push_back(c);
-        }
-    }
-    if (usable.empty())
-    {
-        return std::nullopt;
-    }
+    std::mt19937_64 rng{seed};
+    const std::uint64_t patterns = 1ULL << skeleton.num_inputs();
+    const unsigned perfect = static_cast<unsigned>(2 * patterns);
 
     const auto make_design = [&](const std::vector<SiDBSite>& canvas) {
         GateDesign d = skeleton;
@@ -129,6 +116,66 @@ std::optional<DesignerResult> design_gate(const GateDesign& skeleton,
             result.canvas = canvas;
             result.iterations_used = iter + 1;
             return result;
+        }
+    }
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<DesignerResult> design_gate(const GateDesign& skeleton,
+                                          const std::vector<SiDBSite>& candidates,
+                                          const DesignerOptions& options,
+                                          const SimulationParameters& params)
+{
+    if (skeleton.num_inputs() > max_gate_inputs)
+    {
+        throw std::invalid_argument{"design_gate: skeleton '" + skeleton.name + "' has " +
+                                    std::to_string(skeleton.num_inputs()) +
+                                    " inputs; the pattern enumeration supports at most " +
+                                    std::to_string(max_gate_inputs)};
+    }
+
+    // exclude candidates that collide with skeleton sites, drivers or perturbers
+    std::vector<SiDBSite> forbidden = skeleton.sites;
+    for (const auto& drv : skeleton.drivers)
+    {
+        forbidden.push_back(drv.far_site);
+        forbidden.push_back(drv.near_site);
+    }
+    forbidden.insert(forbidden.end(), skeleton.output_perturbers.begin(), skeleton.output_perturbers.end());
+    std::vector<SiDBSite> usable;
+    usable.reserve(candidates.size());
+    for (const auto& c : candidates)
+    {
+        if (std::find(forbidden.begin(), forbidden.end(), c) == forbidden.end())
+        {
+            usable.push_back(c);
+        }
+    }
+    if (usable.empty())
+    {
+        return std::nullopt;
+    }
+
+    // independent restarts: restart 0 keeps options.seed verbatim (the exact
+    // legacy trajectory); the winner is the lowest restart index that
+    // succeeds, so the result is thread-count invariant. No cross-restart
+    // cancellation — aborting a low-index restart because a high-index one
+    // succeeded first would make the outcome scheduling-dependent.
+    const unsigned restarts = std::max(1U, options.num_restarts);
+    std::vector<std::optional<DesignerResult>> outcomes(restarts);
+    core::parallel_for(options.num_threads, restarts, [&](std::size_t r) {
+        const std::uint64_t seed = r == 0 ? options.seed : core::derive_seed(options.seed, r);
+        outcomes[r] = run_search(skeleton, usable, options, params, seed);
+    });
+
+    for (unsigned r = 0; r < restarts; ++r)
+    {
+        if (outcomes[r].has_value())
+        {
+            outcomes[r]->restart_used = r;
+            return outcomes[r];
         }
     }
     return std::nullopt;

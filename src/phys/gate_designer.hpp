@@ -23,20 +23,34 @@ struct DesignerOptions
 {
     unsigned min_canvas_dots{1};
     unsigned max_canvas_dots{6};
-    unsigned max_iterations{20000};  ///< random subsets / local moves tried
+    unsigned max_iterations{20000};  ///< random subsets / local moves tried (per restart)
     std::uint64_t seed{0xbe57a60};
+
+    /// Independent search restarts. Restart 0 runs with `seed` verbatim
+    /// (bit-identical to the single-restart search); restart r > 0 runs with
+    /// core::derive_seed(seed, r). The restart with the lowest index that
+    /// finds an operational design wins, so the outcome is deterministic.
+    unsigned num_restarts{1};
+
+    /// Worker threads across restarts: 0 = hardware concurrency, 1 = serial.
+    /// (Candidate scoring inside each restart parallelizes over input
+    /// patterns according to SimulationParameters::num_threads.)
+    unsigned num_threads{0};
 };
 
 struct DesignerResult
 {
     GateDesign design;             ///< skeleton + chosen canvas dots
     std::vector<SiDBSite> canvas;  ///< the chosen canvas dots
-    unsigned iterations_used{0};
+    unsigned iterations_used{0};   ///< iterations within the winning restart
+    unsigned restart_used{0};      ///< index of the winning restart
 };
 
 /// Searches for canvas dots (chosen from \p candidates) that make
 /// \p skeleton operational under \p params. The skeleton must already
 /// contain wires, pairs, drivers, perturbers and expected functions.
+/// Throws std::invalid_argument if the skeleton has more than
+/// max_gate_inputs inputs.
 [[nodiscard]] std::optional<DesignerResult> design_gate(const GateDesign& skeleton,
                                                         const std::vector<SiDBSite>& candidates,
                                                         const DesignerOptions& options,

@@ -33,6 +33,14 @@ struct SimulationParameters
     double mu_minus{-0.32};   ///< (0/-) transition level relative to E_F, in eV
     double epsilon_r{5.6};    ///< relative permittivity
     double lambda_tf{5.0};    ///< Thomas-Fermi screening length, in nm
+
+    /// Worker threads for the independent fan-out points of the simulation
+    /// stack (input patterns in check_operational, grid points in
+    /// compute_operational_domain, candidate scoring in design_gate).
+    /// 0 = hardware concurrency, 1 = plain serial execution. Results are
+    /// identical for every value — parallel work is index-addressed and
+    /// seeds are derived deterministically per work item.
+    unsigned num_threads{0};
 };
 
 /// Screened Coulomb interaction energy of two negative charges at distance

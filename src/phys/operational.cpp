@@ -1,7 +1,11 @@
 #include "phys/operational.hpp"
 
+#include "core/thread_pool.hpp"
+
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace bestagon::phys
 {
@@ -48,8 +52,16 @@ PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t patt
     result.sites = design.instance_sites(pattern);
 
     const SiDBSystem system{result.sites, params};
-    result.ground_state = engine == Engine::exhaustive ? exhaustive_ground_state(system)
-                                                       : simulated_annealing(system);
+    if (engine == Engine::exhaustive)
+    {
+        result.ground_state = exhaustive_ground_state(system);
+    }
+    else
+    {
+        SimAnnealParameters annealing;
+        annealing.num_threads = params.num_threads;  // 1 stays fully serial
+        result.ground_state = simulated_annealing(system, annealing);
+    }
 
     result.correct = true;
     for (std::size_t o = 0; o < design.output_pairs.size(); ++o)
@@ -69,16 +81,29 @@ PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t patt
 OperationalResult check_operational(const GateDesign& design, const SimulationParameters& params,
                                     Engine engine)
 {
-    OperationalResult result;
-    result.patterns_total = 1U << design.num_inputs();
-    for (std::uint64_t pattern = 0; pattern < result.patterns_total; ++pattern)
+    if (design.num_inputs() > max_gate_inputs)
     {
-        auto pr = simulate_gate_pattern(design, pattern, params, engine);
+        throw std::invalid_argument{"check_operational: gate '" + design.name + "' has " +
+                                    std::to_string(design.num_inputs()) +
+                                    " inputs; the pattern enumeration supports at most " +
+                                    std::to_string(max_gate_inputs)};
+    }
+    OperationalResult result;
+    result.patterns_total = 1ULL << design.num_inputs();
+
+    // the per-pattern simulations are independent; fan them out and write
+    // each result into its pattern-indexed slot
+    result.details.resize(result.patterns_total);
+    core::parallel_for(params.num_threads, result.patterns_total, [&](std::size_t pattern) {
+        result.details[pattern] = simulate_gate_pattern(design, pattern, params, engine);
+    });
+
+    for (const auto& pr : result.details)
+    {
         if (pr.correct)
         {
             ++result.patterns_correct;
         }
-        result.details.push_back(std::move(pr));
     }
     result.operational = result.patterns_correct == result.patterns_total;
     return result;

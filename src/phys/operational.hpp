@@ -97,12 +97,20 @@ struct PatternResult
 struct OperationalResult
 {
     bool operational{false};
-    unsigned patterns_correct{0};
-    unsigned patterns_total{0};
+    std::uint64_t patterns_correct{0};
+    std::uint64_t patterns_total{0};
     std::vector<PatternResult> details;
 };
 
+/// Largest input arity the pattern enumeration supports (the pattern count
+/// 1ULL << num_inputs must not overflow a 64-bit counter).
+inline constexpr unsigned max_gate_inputs = 63;
+
 /// Checks all 2^num_inputs patterns of \p design against its functions.
+/// Patterns are simulated concurrently according to params.num_threads;
+/// details remain ordered by pattern and are identical for any thread
+/// count. Throws std::invalid_argument if the design has more than
+/// max_gate_inputs inputs.
 [[nodiscard]] OperationalResult check_operational(const GateDesign& design,
                                                   const SimulationParameters& params,
                                                   Engine engine = Engine::exhaustive);

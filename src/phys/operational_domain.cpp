@@ -1,5 +1,7 @@
 #include "phys/operational_domain.hpp"
 
+#include "core/thread_pool.hpp"
+
 namespace bestagon::phys
 {
 
@@ -37,30 +39,32 @@ OperationalDomain compute_operational_domain(const GateDesign& design, const Sim
                    : sweep.y_min + (sweep.y_max - sweep.y_min) * j / (sweep.y_steps - 1);
     };
 
-    for (unsigned j = 0; j < sweep.y_steps; ++j)
-    {
-        for (unsigned i = 0; i < sweep.x_steps; ++i)
+    // grid points are mutually independent simulations; evaluate them
+    // concurrently, each writing its own row-major slot
+    const std::size_t total = static_cast<std::size_t>(sweep.x_steps) * sweep.y_steps;
+    domain.points.resize(total);
+    core::parallel_for(base.num_threads, total, [&](std::size_t index) {
+        const unsigned i = static_cast<unsigned>(index % sweep.x_steps);
+        const unsigned j = static_cast<unsigned>(index / sweep.x_steps);
+        SimulationParameters params = base;
+        DomainPoint point;
+        point.x = x_at(i);
+        point.y = y_at(j);
+        if (sweep.axes == DomainAxes::epsilon_r_vs_lambda_tf)
         {
-            SimulationParameters params = base;
-            DomainPoint point;
-            point.x = x_at(i);
-            point.y = y_at(j);
-            if (sweep.axes == DomainAxes::epsilon_r_vs_lambda_tf)
-            {
-                params.epsilon_r = point.x;
-                params.lambda_tf = point.y;
-            }
-            else
-            {
-                params.mu_minus = point.x;
-                params.epsilon_r = point.y;
-            }
-            const auto result = check_operational(design, params, engine);
-            point.operational = result.operational;
-            point.patterns_correct = result.patterns_correct;
-            domain.points.push_back(point);
+            params.epsilon_r = point.x;
+            params.lambda_tf = point.y;
         }
-    }
+        else
+        {
+            params.mu_minus = point.x;
+            params.epsilon_r = point.y;
+        }
+        const auto result = check_operational(design, params, engine);
+        point.operational = result.operational;
+        point.patterns_correct = result.patterns_correct;
+        domain.points[index] = point;
+    });
     return domain;
 }
 

@@ -34,7 +34,7 @@ struct DomainPoint
     double x{0.0};
     double y{0.0};
     bool operational{false};
-    unsigned patterns_correct{0};
+    std::uint64_t patterns_correct{0};
 };
 
 struct OperationalDomain
@@ -47,7 +47,10 @@ struct OperationalDomain
 };
 
 /// Evaluates the operational domain of \p design on a grid. Parameters not
-/// spanned by the grid are taken from \p base.
+/// spanned by the grid are taken from \p base, including base.num_threads,
+/// which fans the independent grid-point simulations out across workers
+/// (0 = hardware concurrency, 1 = serial; the point order and every result
+/// are identical for any thread count).
 [[nodiscard]] OperationalDomain compute_operational_domain(const GateDesign& design,
                                                            const SimulationParameters& base,
                                                            const DomainSweep& sweep,

@@ -1,12 +1,86 @@
 #include "phys/simanneal.hpp"
 
+#include "core/thread_pool.hpp"
+
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <random>
+#include <vector>
 
 namespace bestagon::phys
 {
+
+namespace
+{
+
+/// One independent annealing run with its own RNG stream. Returns the
+/// quenched (hence physically valid) configuration and its grand potential.
+std::pair<ChargeConfig, double> anneal_instance(const SiDBSystem& system,
+                                                const SimAnnealParameters& params,
+                                                std::uint64_t seed)
+{
+    const std::size_t n = system.size();
+    std::mt19937_64 rng{seed};
+    std::uniform_real_distribution<double> uni{0.0, 1.0};
+
+    // random initial population
+    ChargeConfig config(n, 0);
+    for (auto& c : config)
+    {
+        c = (rng() & 1) != 0 ? 1 : 0;
+    }
+    double f = system.grand_potential(config);
+    double temperature = params.initial_temperature;
+
+    for (unsigned step = 0; step < params.steps_per_instance; ++step)
+    {
+        // move: flip a random site, or hop a random electron
+        const bool do_hop = (rng() & 3U) == 0;  // 25% hops
+        double delta = 0.0;
+        std::size_t i = rng() % n;
+        std::size_t j = n;
+        if (do_hop && config[i] != 0)
+        {
+            j = rng() % n;
+            if (config[j] == 0 && j != i)
+            {
+                delta = system.local_potential(config, j) - system.local_potential(config, i) -
+                        system.potential(i, j);
+            }
+            else
+            {
+                j = n;  // invalid hop; fall through to flip
+            }
+        }
+        if (j == n)
+        {
+            const double v = system.local_potential(config, i);
+            delta = config[i] == 0 ? (system.parameters().mu_minus + v)
+                                   : -(system.parameters().mu_minus + v);
+        }
+
+        if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature))
+        {
+            if (j != n)
+            {
+                config[i] = 0;
+                config[j] = 1;
+            }
+            else
+            {
+                config[i] ^= 1;
+            }
+            f += delta;
+        }
+        temperature *= params.cooling_rate;
+    }
+
+    system.quench(config);  // guarantees physical validity
+    return {std::move(config), system.grand_potential(config)};
+}
+
+}  // namespace
 
 GroundStateResult simulated_annealing(const SiDBSystem& system, const SimAnnealParameters& params)
 {
@@ -22,73 +96,28 @@ GroundStateResult simulated_annealing(const SiDBSystem& system, const SimAnnealP
         return best;
     }
 
-    std::mt19937_64 rng{params.seed};
-    std::uniform_real_distribution<double> uni{0.0, 1.0};
+    // Every instance is seeded from (params.seed, instance) and runs on its
+    // own stream, so the fan-out is embarrassingly parallel and the outcome
+    // does not depend on the thread count.
+    std::vector<std::pair<ChargeConfig, double>> instances(params.num_instances);
+    core::parallel_for(params.num_threads, params.num_instances, [&](std::size_t i) {
+        instances[i] = anneal_instance(system, params, core::derive_seed(params.seed, i));
+    });
 
-    for (unsigned instance = 0; instance < params.num_instances; ++instance)
+    // serial reduction in instance order (strict '<' keeps the lowest index
+    // among ties, matching the legacy serial loop)
+    for (auto& [config, f] : instances)
     {
-        // random initial population
-        ChargeConfig config(n, 0);
-        for (auto& c : config)
-        {
-            c = (rng() & 1) != 0 ? 1 : 0;
-        }
-        double f = system.grand_potential(config);
-        double temperature = params.initial_temperature;
-
-        for (unsigned step = 0; step < params.steps_per_instance; ++step)
-        {
-            // move: flip a random site, or hop a random electron
-            const bool do_hop = (rng() & 3U) == 0;  // 25% hops
-            double delta = 0.0;
-            std::size_t i = rng() % n;
-            std::size_t j = n;
-            if (do_hop && config[i] != 0)
-            {
-                j = rng() % n;
-                if (config[j] == 0 && j != i)
-                {
-                    delta = system.local_potential(config, j) - system.local_potential(config, i) -
-                            system.potential(i, j);
-                }
-                else
-                {
-                    j = n;  // invalid hop; fall through to flip
-                }
-            }
-            if (j == n)
-            {
-                const double v = system.local_potential(config, i);
-                delta = config[i] == 0 ? (system.parameters().mu_minus + v)
-                                       : -(system.parameters().mu_minus + v);
-            }
-
-            if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature))
-            {
-                if (j != n)
-                {
-                    config[i] = 0;
-                    config[j] = 1;
-                }
-                else
-                {
-                    config[i] ^= 1;
-                }
-                f += delta;
-            }
-            temperature *= params.cooling_rate;
-        }
-
-        system.quench(config);  // guarantees physical validity
-        f = system.grand_potential(config);
         if (f < best.grand_potential)
         {
             best.grand_potential = f;
-            best.config = config;
+            best.config = std::move(config);
         }
     }
 
-    best.electrostatic = system.electrostatic_energy(best.config);
+    // num_instances == 0 (or no instance recorded) leaves best.config empty;
+    // guard the energy evaluation the same way exhaustive_ground_state does.
+    best.electrostatic = best.config.empty() ? 0.0 : system.electrostatic_energy(best.config);
     return best;
 }
 

@@ -20,11 +20,19 @@ struct SimAnnealParameters
     double initial_temperature{0.5};  ///< in eV (kT units of the acceptance rule)
     double cooling_rate{0.997};       ///< geometric cooling factor per step
     std::uint64_t seed{0x5eed};
+
+    /// Worker threads across the independent annealing instances:
+    /// 0 = hardware concurrency, 1 = serial. Every instance draws from its
+    /// own RNG stream seeded by core::derive_seed(seed, instance), so the
+    /// result is bit-identical for any thread count.
+    unsigned num_threads{0};
 };
 
 /// Runs simulated annealing on the grand potential F with single-flip and
 /// electron-hop moves, followed by a greedy quench of each instance. Returns
-/// the best physically valid configuration found (complete = false).
+/// the best physically valid configuration found (complete = false). With
+/// num_instances == 0 the result is well-defined and empty: no config,
+/// grand_potential = +inf, electrostatic = 0.
 [[nodiscard]] GroundStateResult simulated_annealing(const SiDBSystem& system,
                                                     const SimAnnealParameters& params = {});
 

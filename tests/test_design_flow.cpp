@@ -24,6 +24,32 @@ TEST(DesignFlow, Xor2EndToEnd)
     EXPECT_TRUE(result.supertiles->satisfies_pitch(layout::ElectrodeTechnology{}));
 }
 
+TEST(DesignFlow, ValidateGatesStepChecksEveryDistinctTileInUse)
+{
+    FlowOptions opt;
+    opt.validate_gates = true;
+    opt.sim_params.num_threads = 4;
+    const auto result = core::run_design_flow(logic::find_benchmark("xor2")->build(), opt);
+    ASSERT_TRUE(result.success());
+    ASSERT_FALSE(result.apply_stats.implementations_used.empty());
+    ASSERT_EQ(result.gate_validation.size(), result.apply_stats.implementations_used.size());
+    for (std::size_t i = 0; i < result.gate_validation.size(); ++i)
+    {
+        const auto& v = result.gate_validation[i];
+        EXPECT_EQ(v.name, result.apply_stats.implementations_used[i]->design.name);
+        EXPECT_GT(v.patterns_total, 0U);
+        // a pre-validated library tile must re-validate at the calibration point
+        if (result.apply_stats.implementations_used[i]->simulation_validated)
+        {
+            EXPECT_TRUE(v.operational) << v.name;
+        }
+    }
+
+    // off by default
+    const auto plain = core::run_design_flow(logic::find_benchmark("xor2")->build());
+    EXPECT_TRUE(plain.gate_validation.empty());
+}
+
 TEST(DesignFlow, VerilogEntryPoint)
 {
     const auto result = core::run_design_flow_verilog(R"(

@@ -1,0 +1,109 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace
+{
+
+using namespace bestagon::core;
+
+TEST(ThreadPool, ResolveThreadCount)
+{
+    EXPECT_GE(resolve_thread_count(0), 1U);  // 0 = hardware concurrency, at least 1
+    EXPECT_EQ(resolve_thread_count(1), 1U);
+    EXPECT_EQ(resolve_thread_count(7), 7U);
+    EXPECT_EQ(resolve_thread_count(100000), 256U);  // sanity cap
+}
+
+TEST(ThreadPool, DeriveSeedIsDeterministicAndDistinct)
+{
+    // same (base, index) -> same seed; distinct indices -> distinct streams
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t i = 0; i < 1000; ++i)
+    {
+        EXPECT_EQ(derive_seed(0x5eed, i), derive_seed(0x5eed, i));
+        seeds.insert(derive_seed(0x5eed, i));
+    }
+    EXPECT_EQ(seeds.size(), 1000U);
+    EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce)
+{
+    for (const unsigned threads : {1U, 2U, 4U, 8U})
+    {
+        constexpr std::size_t count = 10000;
+        std::vector<std::atomic<int>> hits(count);
+        parallel_for(threads, count, [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < count; ++i)
+        {
+            ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads << " threads";
+        }
+    }
+}
+
+TEST(ThreadPool, ParallelForHandlesEmptyAndSingleItem)
+{
+    std::atomic<int> calls{0};
+    parallel_for(4, 0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+    parallel_for(4, 1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0U);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions)
+{
+    EXPECT_THROW(parallel_for(4, 100,
+                              [&](std::size_t i) {
+                                  if (i == 42)
+                                  {
+                                      throw std::runtime_error{"item 42 failed"};
+                                  }
+                              }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForCompletesWithoutDeadlock)
+{
+    constexpr std::size_t outer = 16;
+    constexpr std::size_t inner = 64;
+    std::vector<std::atomic<int>> hits(outer * inner);
+    parallel_for(4, outer, [&](std::size_t i) {
+        parallel_for(4, inner, [&](std::size_t j) { ++hits[i * inner + j]; });
+    });
+    for (std::size_t k = 0; k < outer * inner; ++k)
+    {
+        ASSERT_EQ(hits[k].load(), 1);
+    }
+}
+
+TEST(ThreadPool, SharedPoolExercisesRealConcurrencyEvenOnSmallMachines)
+{
+    EXPECT_GE(ThreadPool::shared().size(), 4U);
+    EXPECT_FALSE(ThreadPool::inside_worker());  // the test runner is not a pool worker
+}
+
+TEST(ThreadPool, ResultsAreIndependentOfThreadCount)
+{
+    // identical index-addressed outputs for every worker count
+    constexpr std::size_t count = 512;
+    const auto run = [&](unsigned threads) {
+        std::vector<std::uint64_t> out(count);
+        parallel_for(threads, count, [&](std::size_t i) { out[i] = derive_seed(99, i); });
+        return out;
+    };
+    const auto serial = run(1);
+    EXPECT_EQ(serial, run(2));
+    EXPECT_EQ(serial, run(4));
+    EXPECT_EQ(serial, run(16));
+}
+
+}  // namespace

@@ -2,8 +2,11 @@
 /// \brief Offline gate-design runner — the tool that produced the canvas
 ///        coordinates frozen in src/layout/bestagon_library.cpp.
 ///
-/// Usage: design_gates <gate> [seed] [iterations]
+/// Usage: design_gates <gate> [seed] [iterations] [restarts] [threads]
 ///   gate in {or, and, nor, nand, xor, xnor, inv, inv_diag, fanout, ha}
+///   restarts: independent search restarts (default 1; restart 0 reproduces
+///             the single-restart trajectory bit-for-bit)
+///   threads:  0 = hardware concurrency (default), 1 = serial
 ///
 /// For each gate it builds the standard-tile skeleton (port pairs, wires,
 /// drivers, output perturbers, target function), then runs the stochastic
@@ -102,14 +105,17 @@ int main(int argc, char** argv)
     if (argc < 2)
     {
         std::printf("usage: design_gates <or|and|nor|nand|xor|xnor|inv|inv_diag|fanout|ha> "
-                    "[seed] [iterations]\n");
+                    "[seed] [iterations] [restarts] [threads]\n");
         return 2;
     }
     const std::string gate = argv[1];
     const unsigned seed = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 1;
     const unsigned iterations = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 20000;
+    const unsigned restarts = argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1;
+    const unsigned threads = argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 0;
 
     phys::SimulationParameters params;  // library calibration point
+    params.num_threads = threads;
     GateDesign d;
     d.name = gate;
     std::vector<SiDBSite> candidates;
@@ -118,6 +124,8 @@ int main(int argc, char** argv)
     options.max_iterations = iterations;
     options.min_canvas_dots = 1;
     options.max_canvas_dots = 6;
+    options.num_restarts = restarts;
+    options.num_threads = threads;
 
     if (gate == "or" || gate == "and" || gate == "xor")
     {
@@ -220,16 +228,17 @@ int main(int argc, char** argv)
         return 2;
     }
 
-    std::printf("designing '%s' (seed %u, %u iterations, %zu candidates)...\n", gate.c_str(), seed,
-                iterations, candidates.size());
+    std::printf("designing '%s' (seed %u, %u iterations, %u restart(s), %zu candidates)...\n",
+                gate.c_str(), seed, iterations, restarts, candidates.size());
     const auto result = phys::design_gate(d, candidates, options, params);
     if (!result.has_value())
     {
-        std::printf("GATE %s seed=%u FAILED after %u iterations\n", gate.c_str(), seed, iterations);
+        std::printf("GATE %s seed=%u FAILED after %u iterations x %u restarts\n", gate.c_str(),
+                    seed, iterations, restarts);
         return 1;
     }
-    std::printf("GATE %s seed=%u OK after %u iterations; canvas:", gate.c_str(), seed,
-                result->iterations_used);
+    std::printf("GATE %s seed=%u OK after %u iterations (restart %u); canvas:", gate.c_str(), seed,
+                result->iterations_used, result->restart_used);
     for (const auto& s : result->canvas)
     {
         std::printf(" {%d, %d, %d},", s.n, s.m, s.l);
