@@ -2,9 +2,11 @@
 /// \brief Reproduces Fig. 6: the synthesized par_check layout on hexagonal
 ///        Bestagon tiles — rendered tile view, formal verification verdict,
 ///        and the dot-accurate SiDB statistics. Also writes fig6_par_check.svg
-///        and fig6_par_check.sqd next to the binary.
+///        and fig6_par_check.sqd into the artifact directory (first CLI
+///        argument, BESTAGON_ARTIFACT_DIR, or ./artifacts).
 
 #include "core/design_flow.hpp"
+#include "io/artifacts.hpp"
 #include "io/render.hpp"
 #include "io/sqd_writer.hpp"
 #include "io/svg_writer.hpp"
@@ -15,8 +17,9 @@
 
 using namespace bestagon;
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string out_dir = io::artifact_dir(argc > 1 ? argv[1] : "");
     const auto* bm = logic::find_benchmark("par_check");
     const auto result = core::run_design_flow(bm->build());
     if (!result.success())
@@ -41,10 +44,11 @@ int main()
                     : "FAILED");
     std::printf("design rules:      %s\n", result.drc.clean() ? "clean" : "violations!");
 
-    std::ofstream svg{"fig6_par_check.svg"};
+    std::ofstream svg{io::artifact_path("fig6_par_check.svg", out_dir)};
     io::write_svg(svg, *result.layout);
-    std::ofstream sqd{"fig6_par_check.sqd"};
+    std::ofstream sqd{io::artifact_path("fig6_par_check.sqd", out_dir)};
     io::write_sqd(sqd, *result.sidb, "par_check");
-    std::printf("\nwrote fig6_par_check.svg (tile view) and fig6_par_check.sqd (SiQAD file)\n");
+    std::printf("\nwrote %s/fig6_par_check.svg (tile view) and fig6_par_check.sqd (SiQAD file)\n",
+                out_dir.c_str());
     return 0;
 }

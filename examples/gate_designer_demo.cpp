@@ -4,6 +4,7 @@
 ///        with empty canvas, it searches canvas SiDB placements until the
 ///        tile implements OR, validated by exhaustive ground-state checks.
 
+#include "io/artifacts.hpp"
 #include "io/sqd_writer.hpp"
 #include "layout/bestagon_library.hpp"
 #include "phys/gate_designer.hpp"
@@ -14,8 +15,9 @@
 using namespace bestagon;
 using phys::SiDBSite;
 
-int main()
+int main(int argc, char** argv)
 {
+    const std::string out_dir = io::artifact_dir(argc > 1 ? argv[1] : "");
     // skeleton: the OR tile from the library with its canvas dots removed
     // (wires, port pairs, drivers and perturbers stay)
     const auto& lib = layout::BestagonLibrary::instance();
@@ -63,8 +65,8 @@ int main()
                 static_cast<unsigned long long>(check.patterns_correct),
                 static_cast<unsigned long long>(check.patterns_total));
 
-    std::ofstream sqd{"designed_or.sqd"};
+    std::ofstream sqd{io::artifact_path("designed_or.sqd", out_dir)};
     io::write_sqd(sqd, result->design);
-    std::printf("wrote designed_or.sqd for inspection in SiQAD\n");
+    std::printf("wrote %s/designed_or.sqd for inspection in SiQAD\n", out_dir.c_str());
     return check.operational ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 ///        design files (.sqd for SiQAD, .svg for inspection).
 
 #include "core/design_flow.hpp"
+#include "io/artifacts.hpp"
 #include "io/sqd_writer.hpp"
 #include "io/svg_writer.hpp"
 #include "io/verilog.hpp"
@@ -30,6 +31,7 @@ int main(int argc, char** argv)
 {
     using namespace bestagon;
 
+    // usage: verilog_to_sidb [design.v] [output-dir]
     std::string text = demo;
     std::string name = "par_check";
     if (argc > 1)
@@ -45,6 +47,7 @@ int main(int argc, char** argv)
         text = buffer.str();
         name = argv[1];
     }
+    const std::string out_dir = io::artifact_dir(argc > 2 ? argv[2] : "");
 
     const auto result = core::run_design_flow_verilog(text);
     if (!result.success())
@@ -57,12 +60,13 @@ int main(int argc, char** argv)
                 result.layout->width(), result.layout->height(), result.sidb->num_sidbs(),
                 result.equivalence == layout::EquivalenceResult::equivalent ? "equivalent" : "NO");
 
-    std::ofstream sqd{"design.sqd"};
+    std::ofstream sqd{io::artifact_path("design.sqd", out_dir)};
     io::write_sqd(sqd, *result.sidb, name);
-    std::ofstream svg{"design.svg"};
+    std::ofstream svg{io::artifact_path("design.svg", out_dir)};
     io::write_svg(svg, *result.layout);
-    std::ofstream dots{"design_dots.svg"};
+    std::ofstream dots{io::artifact_path("design_dots.svg", out_dir)};
     io::write_svg(dots, *result.sidb);
-    std::printf("wrote design.sqd (open in SiQAD), design.svg, design_dots.svg\n");
+    std::printf("wrote %s/design.sqd (open in SiQAD), design.svg, design_dots.svg\n",
+                out_dir.c_str());
     return 0;
 }

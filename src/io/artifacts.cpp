@@ -1,0 +1,32 @@
+#include "io/artifacts.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+namespace bestagon::io
+{
+
+std::string artifact_dir(const std::string& override_dir)
+{
+    std::string dir = override_dir;
+    if (dir.empty())
+    {
+        const char* env = std::getenv("BESTAGON_ARTIFACT_DIR");
+        dir = env != nullptr && *env != '\0' ? env : "artifacts";
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+    {
+        throw std::runtime_error("cannot create artifact directory '" + dir + "': " + ec.message());
+    }
+    return dir;
+}
+
+std::string artifact_path(const std::string& filename, const std::string& override_dir)
+{
+    return (std::filesystem::path{artifact_dir(override_dir)} / filename).string();
+}
+
+}  // namespace bestagon::io

@@ -1,0 +1,26 @@
+/// \file artifacts.hpp
+/// \brief Output-directory resolution for artifact-writing tools (examples,
+///        benches, design runners), so generated .sqd/.svg files land in a
+///        dedicated — gitignored — directory instead of the repo root.
+///
+/// Resolution order: explicit directory argument (tools forward their CLI
+/// flag), else the BESTAGON_ARTIFACT_DIR environment variable, else
+/// "artifacts" under the current working directory. The directory is created
+/// on first use.
+
+#pragma once
+
+#include <string>
+
+namespace bestagon::io
+{
+
+/// Resolves (and creates, if needed) the artifact output directory.
+/// Throws std::runtime_error if the directory cannot be created.
+[[nodiscard]] std::string artifact_dir(const std::string& override_dir = {});
+
+/// Full path for artifact \p filename inside artifact_dir(\p override_dir).
+[[nodiscard]] std::string artifact_path(const std::string& filename,
+                                        const std::string& override_dir = {});
+
+}  // namespace bestagon::io

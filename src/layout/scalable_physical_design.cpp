@@ -88,7 +88,7 @@ class Marcher
             {
                 throw std::logic_error{"scalable_physical_design: de-sharing diverged"};
             }
-            advance({}, {});
+            advance(desharing_steer(), {});
         }
         for (const auto po : network_.pos())
         {
@@ -112,6 +112,66 @@ class Marcher
     }
 
   private:
+    /// Steering that breaks de-sharing ping-pong. A forced split can only
+    /// target the two parity-determined down-neighbor columns; if a single
+    /// signal is parked in one of them and holds, the split re-pairs with it
+    /// and the configuration oscillates between two columns forever. Pushing
+    /// every such single one step further in the parity-legal drift
+    /// direction makes room, so the split resolves instead of bouncing.
+    [[nodiscard]] std::map<std::size_t, int> desharing_steer() const
+    {
+        std::map<std::size_t, int> steer;
+        const bool odd = (row_ & 1) != 0;
+        const int d = odd ? 1 : -1;
+        std::map<int, unsigned> load;
+        for (const auto& s : signals_)
+        {
+            ++load[s.col];
+        }
+        std::vector<int> escape_cols;  // split-target columns of shared pairs
+        for (const auto& [c, l] : load)
+        {
+            if (l >= 2)
+            {
+                escape_cols.push_back(odd ? c : c - 1);
+                escape_cols.push_back(odd ? c + 1 : c);
+            }
+        }
+        for (std::size_t i = 0; i < signals_.size(); ++i)
+        {
+            const auto c = signals_[i].col;
+            if (load[c] == 1 &&
+                std::find(escape_cols.begin(), escape_cols.end(), c) != escape_cols.end())
+            {
+                steer[i] = d;
+            }
+        }
+        // cascade: a steered single landing on another single would only
+        // re-pair (a period-2 cycle at larger scale) — push the whole
+        // contiguous run of singles so the block drifts into empty space
+        for (bool changed = true; changed;)
+        {
+            changed = false;
+            for (const auto& [i, dir] : steer)
+            {
+                const int t = signals_[i].col + dir;
+                for (std::size_t j = 0; j < signals_.size(); ++j)
+                {
+                    if (signals_[j].col == t && load[t] == 1 && steer.find(j) == steer.end())
+                    {
+                        steer[j] = d;
+                        changed = true;
+                    }
+                }
+                if (changed)
+                {
+                    break;  // the map changed: restart iteration
+                }
+            }
+        }
+        return steer;
+    }
+
     [[nodiscard]] bool has_shared_pair() const
     {
         for (std::size_t i = 0; i < signals_.size(); ++i)
@@ -342,7 +402,7 @@ class Marcher
             {
                 throw std::logic_error{"scalable_physical_design: de-sharing diverged"};
             }
-            advance({}, {});
+            advance(desharing_steer(), {});
         }
         ProtoOcc p;
         p.occ.type = network_.type_of(id);
@@ -388,10 +448,13 @@ class Marcher
             {
                 throw std::logic_error{"scalable_physical_design: convergence diverged"};
             }
-            std::map<std::size_t, int> steer;
+            // de-share steering for bystanders, convergence steering on top
+            auto steer = desharing_steer();
             if (signals_[ia].col == signals_[ib].col)
             {
                 // sharing a tile: the forced split separates them
+                steer.erase(ia);
+                steer.erase(ib);
             }
             else if (signals_[ia].col < signals_[ib].col)
             {

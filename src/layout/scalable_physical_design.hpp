@@ -21,7 +21,9 @@ namespace bestagon::layout
 {
 
 /// Runs the heuristic placer on a Bestagon-compliant mapped network.
-/// Returns std::nullopt only on malformed inputs.
+/// Returns std::nullopt when the constructive march cannot realize the
+/// network (densely reconvergent structures whose crossing splits displace
+/// neighbors indefinitely); callers fall back to exact physical design.
 [[nodiscard]] std::optional<GateLevelLayout> scalable_physical_design(const logic::LogicNetwork& network);
 
 }  // namespace bestagon::layout

@@ -1,0 +1,124 @@
+#include "testing/golden.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace bestagon::testkit
+{
+
+bool& update_goldens_flag()
+{
+    static bool update = []
+    {
+        const char* env = std::getenv("BESTAGON_UPDATE_GOLDENS");
+        return env != nullptr && std::string{env} != "0" && std::string{env} != "";
+    }();
+    return update;
+}
+
+std::string normalize_artifact(const std::string& text)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (std::size_t i = 0; i < text.size(); ++i)
+    {
+        const char c = text[i];
+        if (c == '\r')
+        {
+            if (i + 1 < text.size() && text[i + 1] == '\n')
+            {
+                ++i;
+            }
+            lines.push_back(std::move(current));
+            current.clear();
+        }
+        else if (c == '\n')
+        {
+            lines.push_back(std::move(current));
+            current.clear();
+        }
+        else
+        {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+    {
+        lines.push_back(std::move(current));
+    }
+    while (!lines.empty() && lines.back().empty())
+    {
+        lines.pop_back();
+    }
+    std::string out;
+    for (auto& line : lines)
+    {
+        while (!line.empty() && (line.back() == ' ' || line.back() == '\t'))
+        {
+            line.pop_back();
+        }
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+GoldenVerdict compare_golden(const std::string& actual, const std::string& golden_path)
+{
+    const auto normalized = normalize_artifact(actual);
+    if (update_goldens_flag())
+    {
+        std::ofstream out{golden_path, std::ios::binary};
+        if (!out)
+        {
+            return {false, "cannot write golden file " + golden_path};
+        }
+        out << normalized;
+        return {};
+    }
+
+    std::ifstream in{golden_path, std::ios::binary};
+    if (!in)
+    {
+        return {false, "missing golden file " + golden_path +
+                           " (regenerate with --update-goldens or BESTAGON_UPDATE_GOLDENS=1)"};
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto expected = normalize_artifact(buffer.str());
+    if (expected == normalized)
+    {
+        return {};
+    }
+
+    // locate the first divergent line for an actionable message
+    std::istringstream exp_stream{expected};
+    std::istringstream act_stream{normalized};
+    std::string exp_line;
+    std::string act_line;
+    std::size_t line_no = 0;
+    while (true)
+    {
+        const bool has_exp = static_cast<bool>(std::getline(exp_stream, exp_line));
+        const bool has_act = static_cast<bool>(std::getline(act_stream, act_line));
+        ++line_no;
+        if (!has_exp && !has_act)
+        {
+            break;  // only normalization differences remained — treat as diff anyway
+        }
+        if (!has_exp || !has_act || exp_line != act_line)
+        {
+            std::ostringstream out;
+            out << golden_path << ": first difference at line " << line_no << "\n  golden: "
+                << (has_exp ? exp_line : "<end of file>") << "\n  actual: "
+                << (has_act ? act_line : "<end of file>")
+                << "\n  (rerun with --update-goldens to accept the new output)";
+            return {false, out.str()};
+        }
+    }
+    return {false, golden_path + ": files differ"};
+}
+
+}  // namespace bestagon::testkit

@@ -1,0 +1,44 @@
+/// \file golden.hpp
+/// \brief Golden-file regression harness for textual artifacts
+///        (.sqd XML, SVG, DOT, ASCII renderings).
+///
+/// A golden test renders an artifact to a string and calls
+/// `compare_golden(actual, path)`. In comparison mode the actual text is
+/// normalized (CRLF -> LF, trailing whitespace stripped, exactly one final
+/// newline) and diffed line-by-line against the checked-in golden; the
+/// verdict pinpoints the first divergent line. In update mode
+/// (`--update-goldens` on the golden-test binary, or
+/// BESTAGON_UPDATE_GOLDENS=1) the normalized text is written to the golden
+/// path instead and the comparison always passes — regenerate, inspect the
+/// git diff, commit.
+
+#pragma once
+
+#include <string>
+
+namespace bestagon::testkit
+{
+
+/// Process-wide update-mode flag (set by the golden test binary's main).
+[[nodiscard]] bool& update_goldens_flag();
+
+/// Normalizes artifact text: CRLF/CR -> LF, strips trailing whitespace per
+/// line, guarantees exactly one trailing newline (empty input stays empty).
+[[nodiscard]] std::string normalize_artifact(const std::string& text);
+
+/// Outcome of a golden comparison; `detail` carries the first mismatching
+/// line with context, or the I/O error.
+struct GoldenVerdict
+{
+    bool ok{true};
+    std::string detail;
+
+    explicit operator bool() const noexcept { return ok; }
+};
+
+/// Compares \p actual against the golden file at \p golden_path
+/// (or rewrites it in update mode).
+[[nodiscard]] GoldenVerdict compare_golden(const std::string& actual,
+                                           const std::string& golden_path);
+
+}  // namespace bestagon::testkit

@@ -1,0 +1,361 @@
+#include "testing/oracles.hpp"
+
+#include "layout/equivalence_checking.hpp"
+#include "layout/scalable_physical_design.hpp"
+#include "logic/exact_synthesis.hpp"
+#include "logic/rewriting.hpp"
+#include "logic/tech_mapping.hpp"
+#include "phys/exhaustive.hpp"
+#include "sat/solver.hpp"
+#include "testing/random.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace bestagon::testkit
+{
+
+namespace
+{
+
+/// True if \p assignment (bit v-1 = DIMACS variable v) satisfies the clause.
+bool clause_satisfied(const std::vector<int>& clause, std::uint64_t assignment)
+{
+    for (const int lit : clause)
+    {
+        const auto var = static_cast<unsigned>(std::abs(lit)) - 1;
+        const bool value = ((assignment >> var) & 1ULL) != 0;
+        if (value == (lit > 0))
+        {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool formula_satisfied(const sat::Cnf& cnf, std::uint64_t assignment)
+{
+    for (const auto& clause : cnf.clauses)
+    {
+        if (!clause_satisfied(clause, assignment))
+        {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Exhaustive existence check over all 2^num_vars assignments.
+bool bruteforce_satisfiable(const sat::Cnf& cnf)
+{
+    const std::uint64_t count = 1ULL << static_cast<unsigned>(cnf.num_vars);
+    for (std::uint64_t a = 0; a < count; ++a)
+    {
+        if (formula_satisfied(cnf, a))
+        {
+            return true;
+        }
+    }
+    return false;
+}
+
+OracleVerdict fail(std::string detail)
+{
+    return OracleVerdict{false, std::move(detail)};
+}
+
+/// True if any node of \p network is a constant. Mapped networks can contain
+/// constants when structural hashing folds a degenerate specification (e.g.
+/// xor of a signal with a buffered copy of itself); the gate library has no
+/// constant tile, so such networks lie outside both P&R engines' domain.
+bool has_constant_nodes(const logic::LogicNetwork& network)
+{
+    for (const auto id : network.topological_order())
+    {
+        const auto type = network.type_of(id);
+        if (type == logic::GateType::const0 || type == logic::GateType::const1)
+        {
+            return true;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+OracleVerdict sat_differential(const sat::Cnf& cnf, unsigned max_bruteforce_vars, SatFault fault)
+{
+    sat::Solver solver;
+    const bool trivially_unsat = !sat::load_into_solver(solver, cnf);
+    const auto real_result = trivially_unsat ? sat::Result::unsatisfiable : solver.solve();
+    if (real_result == sat::Result::unknown)
+    {
+        return fail("CDCL solver returned unknown without a budget being set");
+    }
+    auto result = real_result;
+    if (fault == SatFault::flip_reported_result)
+    {
+        result = result == sat::Result::satisfiable ? sat::Result::unsatisfiable
+                                                    : sat::Result::satisfiable;
+    }
+
+    if (result == sat::Result::satisfiable)
+    {
+        // model-check: the reported assignment must satisfy every clause
+        // (after an UNSAT->SAT flip there is no model — the all-false
+        // "claimed" model stands in, and necessarily fails the check)
+        std::uint64_t assignment = 0;
+        if (real_result == sat::Result::satisfiable)
+        {
+            for (int v = 0; v < cnf.num_vars; ++v)
+            {
+                if (v < solver.num_vars() && solver.model_value(static_cast<sat::Var>(v)))
+                {
+                    assignment |= 1ULL << static_cast<unsigned>(v);
+                }
+            }
+        }
+        if (fault == SatFault::corrupt_model)
+        {
+            assignment ^= 1ULL;
+        }
+        for (std::size_t c = 0; c < cnf.clauses.size(); ++c)
+        {
+            if (!clause_satisfied(cnf.clauses[c], assignment))
+            {
+                std::ostringstream out;
+                out << "SAT model violates clause " << c << " of " << cnf.clauses.size() << " ("
+                    << cnf.num_vars << " vars)";
+                return fail(out.str());
+            }
+        }
+        return {};
+    }
+
+    // UNSAT: refutable only by the exhaustive sweep (skip oversized instances)
+    if (static_cast<unsigned>(cnf.num_vars) > max_bruteforce_vars)
+    {
+        return {};
+    }
+    if (bruteforce_satisfiable(cnf))
+    {
+        std::ostringstream out;
+        out << "solver reported UNSAT but a satisfying assignment exists (" << cnf.num_vars
+            << " vars, " << cnf.clauses.size() << " clauses)";
+        return fail(out.str());
+    }
+    return {};
+}
+
+OracleVerdict ground_state_differential(const std::vector<phys::SiDBSite>& canvas,
+                                        const phys::SimulationParameters& sim_params,
+                                        const phys::SimAnnealParameters& anneal_params,
+                                        double tolerance_ev, GroundStateFault fault)
+{
+    const phys::SiDBSystem system{canvas, sim_params};
+    auto exact = phys::exhaustive_ground_state(system);
+    auto heuristic = phys::simulated_annealing(system, anneal_params);
+    if (!exact.complete)
+    {
+        return fail("exhaustive engine did not report a complete search");
+    }
+    if (heuristic.config.size() != canvas.size())
+    {
+        return fail("simanneal returned a configuration of the wrong size");
+    }
+    if (fault == GroundStateFault::corrupt_anneal_config)
+    {
+        heuristic.config[0] ^= 1U;
+    }
+    else if (fault == GroundStateFault::shift_exact_energy)
+    {
+        exact.grand_potential += 0.010;
+    }
+
+    if (!system.physically_valid(heuristic.config))
+    {
+        return fail("simanneal configuration is not physically valid (population or "
+                    "configuration stability violated)");
+    }
+    const double recomputed = system.grand_potential(heuristic.config);
+    std::ostringstream out;
+    if (std::abs(recomputed - heuristic.grand_potential) > 1e-9)
+    {
+        out << "simanneal misreports its own energy: config evaluates to " << recomputed
+            << " eV but " << heuristic.grand_potential << " eV was reported";
+        return fail(out.str());
+    }
+    if (heuristic.grand_potential < exact.grand_potential - 1e-9)
+    {
+        out << "heuristic energy " << heuristic.grand_potential
+            << " eV beats the exhaustive minimum " << exact.grand_potential
+            << " eV — the exact engine is not exact";
+        return fail(out.str());
+    }
+    if (heuristic.grand_potential > exact.grand_potential + tolerance_ev)
+    {
+        out << "simanneal missed the ground state: " << heuristic.grand_potential << " eV vs "
+            << exact.grand_potential << " eV exhaustive (" << canvas.size() << " dots)";
+        return fail(out.str());
+    }
+    return {};
+}
+
+OracleVerdict physical_design_differential(const logic::LogicNetwork& spec,
+                                           const layout::ExactPDOptions& exact_options,
+                                           PdOracleStats* stats, PdFault fault)
+{
+    const auto mapped = logic::map_to_bestagon(spec);
+    std::string why;
+    if (!mapped.is_bestagon_compliant(&why))
+    {
+        return fail("mapped network is not Bestagon-compliant: " + why);
+    }
+    if (spec.num_pis() <= 16 && !logic::functionally_equivalent(spec, mapped))
+    {
+        return fail("technology mapping changed the function of the specification");
+    }
+    const auto miter_spec = fault == PdFault::invert_spec_output ? with_inverted_po(mapped) : mapped;
+
+    PdOracleStats local;
+    PdOracleStats& s = stats != nullptr ? *stats : local;
+
+    if (has_constant_nodes(mapped))
+    {
+        // degenerate (constant-function) specification: no P&R engine can
+        // place it, so there is nothing to cross-check
+        s.constant_function = true;
+        return {};
+    }
+
+    // the march may decline densely reconvergent networks (production falls
+    // back to the exact engine then) — that skips its checks, stats record it
+    const auto scalable = layout::scalable_physical_design(mapped);
+    if (scalable.has_value())
+    {
+        s.scalable_ran = true;
+        s.scalable_area = scalable->area();
+        // extraction needs the network the engine actually placed (occupants
+        // carry its node ids); the miter then compares against the — possibly
+        // fault-corrupted — specification
+        if (layout::check_equivalence(miter_spec, scalable->extract_network(mapped)) !=
+            layout::EquivalenceResult::equivalent)
+        {
+            return fail("scalable layout is NOT equivalent to the specification (SAT miter)");
+        }
+    }
+
+    const auto exact = layout::exact_physical_design(mapped, exact_options);
+    if (exact.has_value())
+    {
+        s.exact_ran = true;
+        s.exact_area = exact->area();
+        if (layout::check_equivalence(miter_spec, exact->extract_network(mapped)) !=
+            layout::EquivalenceResult::equivalent)
+        {
+            return fail("exact layout is NOT equivalent to the specification (SAT miter)");
+        }
+        // minimality cross-check: the scalable layout proves its own area
+        // feasible, so the area-ascending exact search may never exceed it
+        // (valid only when the scalable result lies inside the exact bounds)
+        if (s.scalable_ran && scalable->width() <= exact_options.max_width &&
+            scalable->height() <= exact_options.max_height && s.exact_area > s.scalable_area)
+        {
+            std::ostringstream out;
+            out << "exact area " << s.exact_area << " exceeds scalable area " << s.scalable_area
+                << " — ascending-area enumeration is broken";
+            return fail(out.str());
+        }
+    }
+    return {};
+}
+
+OracleVerdict frontend_differential(const logic::LogicNetwork& input, std::uint64_t seed,
+                                    unsigned num_patterns, FrontendFault fault)
+{
+    // shared across calls: the database caches exact-synthesis results, and
+    // rebuilding it per case would re-run SAT synthesis for every NPN class
+    static logic::NpnDatabase database;
+    const auto rewritten = logic::rewrite(input, database);
+    auto mapped = logic::map_to_bestagon(rewritten);
+    std::string why;
+    if (!mapped.is_bestagon_compliant(&why))
+    {
+        return fail("mapped network is not Bestagon-compliant: " + why);
+    }
+    if (fault == FrontendFault::invert_mapped_output)
+    {
+        mapped = with_inverted_po(mapped);
+    }
+    if (input.num_pos() != rewritten.num_pos() || input.num_pos() != mapped.num_pos())
+    {
+        return fail("rewriting or mapping changed the number of primary outputs");
+    }
+
+    Rng rng{seed};
+    const std::uint64_t mask =
+        input.num_pis() >= 64 ? ~0ULL : (1ULL << input.num_pis()) - 1ULL;
+    const bool exhaustive = input.num_pis() <= 6;  // all patterns fit the budget
+    const std::uint64_t count = exhaustive ? (1ULL << input.num_pis()) : num_patterns;
+    for (std::uint64_t i = 0; i < count; ++i)
+    {
+        const std::uint64_t pattern = exhaustive ? i : (rng.next() & mask);
+        const auto expected = input.simulate_pattern(pattern);
+        const auto after_rewrite = rewritten.simulate_pattern(pattern);
+        const auto after_mapping = mapped.simulate_pattern(pattern);
+        for (std::size_t o = 0; o < expected.size(); ++o)
+        {
+            if (after_rewrite[o] != expected[o] || after_mapping[o] != expected[o])
+            {
+                std::ostringstream out;
+                out << "front end diverges on pattern 0x" << std::hex << pattern << std::dec
+                    << " output " << o << ": input=" << expected[o]
+                    << " rewritten=" << after_rewrite[o] << " mapped=" << after_mapping[o];
+                return fail(out.str());
+            }
+        }
+    }
+    return {};
+}
+
+logic::LogicNetwork with_inverted_po(const logic::LogicNetwork& network, unsigned po_index)
+{
+    logic::LogicNetwork copy;
+    std::vector<logic::LogicNetwork::NodeId> remap(network.size(),
+                                                   logic::LogicNetwork::invalid_node);
+    unsigned pos_seen = 0;
+    for (const auto id : network.topological_order())
+    {
+        const auto& n = network.node(id);
+        switch (n.type)
+        {
+            case logic::GateType::none: break;
+            case logic::GateType::const0: remap[id] = copy.create_const(false); break;
+            case logic::GateType::const1: remap[id] = copy.create_const(true); break;
+            case logic::GateType::pi: remap[id] = copy.create_pi(n.name); break;
+            case logic::GateType::po:
+            {
+                auto driver = remap[n.fanin[0]];
+                if (pos_seen++ == po_index)
+                {
+                    driver = copy.create_not(driver);
+                }
+                remap[id] = copy.create_po(driver, n.name);
+                break;
+            }
+            default:
+            {
+                std::vector<logic::LogicNetwork::NodeId> fanins;
+                for (unsigned i = 0; i < logic::gate_arity(n.type); ++i)
+                {
+                    fanins.push_back(remap[n.fanin[i]]);
+                }
+                remap[id] = copy.create_gate(n.type, fanins);
+                break;
+            }
+        }
+    }
+    return copy;
+}
+
+}  // namespace bestagon::testkit

@@ -1,0 +1,131 @@
+/// \file oracles.hpp
+/// \brief Differential oracles cross-checking every redundant engine pair in
+///        the flow:
+///
+///  1. CDCL solver vs. brute-force model enumeration — SAT answers are
+///     model-checked against every clause, UNSAT answers are refuted or
+///     confirmed by an exhaustive assignment sweep (instances <= 20 vars).
+///  2. Simulated annealing vs. exhaustive ground states on small canvases
+///     (the exact-vs-heuristic split of the SiDB simulation literature).
+///  3. Exact vs. scalable placement & routing — both layouts must pass
+///     SAT-based equivalence checking against the specification network.
+///  4. Rewriting + technology mapping vs. the input network via random
+///     simulation (64 patterns by default; exhaustive when <= 16 PIs).
+///
+/// Each oracle takes an optional *fault* that corrupts one engine's answer
+/// before cross-checking. Faults exist purely so tests can prove the oracle
+/// detects real divergence (a mutation-coverage check for the oracle
+/// itself); production code never sets them.
+
+#pragma once
+
+#include "logic/network.hpp"
+#include "layout/exact_physical_design.hpp"
+#include "phys/model.hpp"
+#include "phys/simanneal.hpp"
+#include "sat/dimacs.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bestagon::testkit
+{
+
+/// Outcome of one oracle evaluation. `detail` explains the first detected
+/// divergence in one paragraph (empty when ok).
+struct OracleVerdict
+{
+    bool ok{true};
+    std::string detail;
+
+    /// Convenience for gtest: EXPECT_TRUE(verdict) prints the detail.
+    explicit operator bool() const noexcept { return ok; }
+};
+
+// --- 1. SAT: CDCL vs. brute force ------------------------------------------
+
+enum class SatFault : std::uint8_t
+{
+    none,
+    flip_reported_result,  ///< pretend the solver answered SAT<->UNSAT
+    corrupt_model          ///< flip the model value of the first variable
+};
+
+/// Solves \p cnf with the CDCL engine and cross-checks the answer:
+/// a SAT answer must satisfy every clause; an UNSAT answer is verified by
+/// exhaustively sweeping all 2^n assignments. Instances with more than
+/// \p max_bruteforce_vars variables only get the (always sound) model check.
+[[nodiscard]] OracleVerdict sat_differential(const sat::Cnf& cnf,
+                                             unsigned max_bruteforce_vars = 20,
+                                             SatFault fault = SatFault::none);
+
+// --- 2. ground states: simanneal vs. exhaustive ----------------------------
+
+enum class GroundStateFault : std::uint8_t
+{
+    none,
+    corrupt_anneal_config,  ///< flip the charge of site 0 in the heuristic's answer
+    shift_exact_energy      ///< misreport the exhaustive minimum by +10 meV
+};
+
+/// Runs both ground-state engines on the canvas and checks that the
+/// heuristic's configuration (a) is physically valid, (b) never beats the
+/// exhaustive minimum, (c) reaches it within \p tolerance_ev, and (d) reports
+/// an energy consistent with its own configuration.
+[[nodiscard]] OracleVerdict ground_state_differential(const std::vector<phys::SiDBSite>& canvas,
+                                                      const phys::SimulationParameters& sim_params,
+                                                      const phys::SimAnnealParameters& anneal_params,
+                                                      double tolerance_ev = 1e-6,
+                                                      GroundStateFault fault = GroundStateFault::none);
+
+// --- 3. physical design: exact vs. scalable --------------------------------
+
+enum class PdFault : std::uint8_t
+{
+    none,
+    invert_spec_output  ///< models an engine realizing the wrong function
+};
+
+struct PdOracleStats
+{
+    bool exact_ran{false};         ///< false if the exact engine's budget expired
+    bool scalable_ran{false};      ///< false if the constructive march declined the network
+    bool constant_function{false}; ///< mapping folded the spec to a constant — P&R skipped
+    unsigned exact_area{0};
+    unsigned scalable_area{0};
+};
+
+/// Maps \p spec onto the Bestagon gate set, runs both P&R engines and
+/// SAT-equivalence-checks every produced layout against the mapped network
+/// (plus mapped vs. spec functionally). Either engine may decline: the exact
+/// engine by exhausting \p exact_options' budget, the scalable engine on
+/// densely reconvergent networks its march cannot realize. A decline skips
+/// that engine's checks (reported via stats), never fails the oracle —
+/// callers asserting engine participation must inspect the stats.
+[[nodiscard]] OracleVerdict physical_design_differential(
+    const logic::LogicNetwork& spec, const layout::ExactPDOptions& exact_options,
+    PdOracleStats* stats = nullptr, PdFault fault = PdFault::none);
+
+// --- 4. front end: rewriting + mapping vs. input ---------------------------
+
+enum class FrontendFault : std::uint8_t
+{
+    none,
+    invert_mapped_output  ///< models a rewrite/mapping step dropping an inverter
+};
+
+/// Rewrites and maps \p input, then compares input, rewritten and mapped
+/// networks on \p num_patterns random input patterns (seeded by \p seed).
+/// Also asserts the mapped network is Bestagon-compliant.
+[[nodiscard]] OracleVerdict frontend_differential(const logic::LogicNetwork& input,
+                                                  std::uint64_t seed, unsigned num_patterns = 64,
+                                                  FrontendFault fault = FrontendFault::none);
+
+/// Structural copy of \p network with the driver of PO \p po_index routed
+/// through a fresh inverter — the standard "seeded mutation" used to prove
+/// the equivalence oracles catch functionally wrong engine output.
+[[nodiscard]] logic::LogicNetwork with_inverted_po(const logic::LogicNetwork& network,
+                                                   unsigned po_index = 0);
+
+}  // namespace bestagon::testkit

@@ -1,0 +1,66 @@
+#include "testing/reproducer.hpp"
+
+#include "core/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace bestagon::testkit
+{
+
+namespace
+{
+
+/// Parses a decimal or 0x-prefixed hexadecimal unsigned integer; returns
+/// false on malformed input instead of throwing (env values are untrusted).
+bool parse_u64(const char* text, std::uint64_t& out)
+{
+    if (text == nullptr || *text == '\0')
+    {
+        return false;
+    }
+    char* end = nullptr;
+    const auto value = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0')
+    {
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+}  // namespace
+
+FuzzBudget fuzz_budget(std::uint64_t default_seed, unsigned default_iterations)
+{
+    FuzzBudget budget{default_seed, default_iterations};
+    std::uint64_t value = 0;
+    if (parse_u64(std::getenv("BESTAGON_FUZZ_SEED"), value))
+    {
+        budget.base_seed = value;
+    }
+    if (parse_u64(std::getenv("BESTAGON_FUZZ_SCALE"), value))
+    {
+        const auto scale = std::clamp<std::uint64_t>(value, 1, 1000);
+        budget.iterations = static_cast<unsigned>(
+            std::min<std::uint64_t>(budget.iterations * scale, 1'000'000));
+    }
+    return budget;
+}
+
+std::uint64_t case_seed(std::uint64_t base, std::uint64_t index)
+{
+    return core::derive_seed(base, index);
+}
+
+std::string reproducer(const std::string& oracle, std::uint64_t base_seed, std::uint64_t index)
+{
+    std::ostringstream out;
+    out << "[bestagon-repro] oracle=" << oracle << " BESTAGON_FUZZ_SEED=0x" << std::hex
+        << base_seed << std::dec << " case=" << index << " case_seed=0x" << std::hex
+        << case_seed(base_seed, index);
+    return out.str();
+}
+
+}  // namespace bestagon::testkit

@@ -1,0 +1,47 @@
+/// \file reproducer.hpp
+/// \brief Seed and reproducer conventions for the property-based testing and
+///        fuzzing subsystem (`bestagon_testkit`).
+///
+/// Every randomized test draws its per-case seed as
+/// `core::derive_seed(base_seed, case_index)`, so a failure is fully
+/// described by the pair (base seed, case index). `reproducer()` renders
+/// that pair as a one-line string that is printed with every failing
+/// assertion; pasting the `BESTAGON_FUZZ_SEED=...` prefix in front of the
+/// test command replays the exact failing case stream.
+///
+/// Environment knobs (read once per call site through `fuzz_budget`):
+///  - BESTAGON_FUZZ_SEED:  overrides the base seed (decimal or 0x-hex)
+///  - BESTAGON_FUZZ_SCALE: multiplies every default iteration count
+///    (CI uses this to buy deeper fuzzing without touching the sources)
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bestagon::testkit
+{
+
+/// Effort and seeding of one fuzzing loop.
+struct FuzzBudget
+{
+    std::uint64_t base_seed{0};
+    unsigned iterations{0};
+};
+
+/// Resolves the budget for one fuzz loop: \p default_seed and
+/// \p default_iterations, overridden by BESTAGON_FUZZ_SEED and scaled by
+/// BESTAGON_FUZZ_SCALE respectively (scale is clamped to [1, 1000]).
+[[nodiscard]] FuzzBudget fuzz_budget(std::uint64_t default_seed, unsigned default_iterations);
+
+/// Seed for case \p index of the loop seeded by \p base
+/// (exactly core::derive_seed — re-exported so tests need not link the
+/// concurrency target directly).
+[[nodiscard]] std::uint64_t case_seed(std::uint64_t base, std::uint64_t index);
+
+/// One-line reproducer, e.g.
+/// `[bestagon-repro] oracle=sat BESTAGON_FUZZ_SEED=0x5eed case=17 case_seed=0x9e3779b97f4a7c15`.
+[[nodiscard]] std::string reproducer(const std::string& oracle, std::uint64_t base_seed,
+                                     std::uint64_t index);
+
+}  // namespace bestagon::testkit

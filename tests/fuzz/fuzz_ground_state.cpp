@@ -1,0 +1,80 @@
+/// \file fuzz_ground_state.cpp
+/// \brief Differential fuzzing of simulated annealing against the exhaustive
+///        ground-state engine on random small SiDB canvases.
+
+#include "testing/oracles.hpp"
+#include "testing/random.hpp"
+#include "testing/reproducer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon;
+
+phys::SimAnnealParameters anneal_for_fuzzing(std::uint64_t seed)
+{
+    phys::SimAnnealParameters params;
+    params.num_instances = 24;  // generous effort: a miss IS a divergence
+    params.seed = seed;
+    return params;
+}
+
+TEST(FuzzGroundState, SimannealMatchesExhaustiveOnRandomCanvases)
+{
+    const auto budget = testkit::fuzz_budget(0x6d0'0001, 40);
+    const phys::SimulationParameters sim_params{};
+    for (std::uint64_t i = 0; i < budget.iterations; ++i)
+    {
+        const auto seed = testkit::case_seed(budget.base_seed, i);
+        testkit::Rng rng{seed};
+        const auto canvas = testkit::random_sidb_canvas(rng);
+        const auto verdict = testkit::ground_state_differential(canvas, sim_params,
+                                                                anneal_for_fuzzing(seed));
+        ASSERT_TRUE(verdict.ok) << verdict.detail << '\n'
+                                << testkit::reproducer("ground-state", budget.base_seed, i);
+    }
+}
+
+TEST(FuzzGroundState, SparseCanvasesAtTheSecondCalibrationPoint)
+{
+    const auto budget = testkit::fuzz_budget(0x6d0'0002, 20);
+    phys::SimulationParameters sim_params;
+    sim_params.mu_minus = -0.28;  // the paper's second operating point
+    testkit::CanvasOptions options;
+    options.max_dots = 8;
+    options.max_column = 20;
+    options.max_dimer_row = 10;
+    for (std::uint64_t i = 0; i < budget.iterations; ++i)
+    {
+        const auto seed = testkit::case_seed(budget.base_seed, i);
+        testkit::Rng rng{seed};
+        const auto canvas = testkit::random_sidb_canvas(rng, options);
+        const auto verdict = testkit::ground_state_differential(canvas, sim_params,
+                                                                anneal_for_fuzzing(seed));
+        ASSERT_TRUE(verdict.ok) << verdict.detail << '\n'
+                                << testkit::reproducer("ground-state-sparse", budget.base_seed, i);
+    }
+}
+
+/// Mutation coverage: corrupting the heuristic's configuration or the exact
+/// engine's reported minimum must both be detected.
+TEST(FuzzGroundState, OracleCatchesSeededMutations)
+{
+    const std::vector<phys::SiDBSite> canvas{{0, 0, 0}, {4, 1, 0}, {8, 2, 1}};
+    const phys::SimulationParameters sim_params{};
+
+    const auto corrupted = testkit::ground_state_differential(
+        canvas, sim_params, anneal_for_fuzzing(0xbad5eed), 1e-6,
+        testkit::GroundStateFault::corrupt_anneal_config);
+    ASSERT_FALSE(corrupted.ok) << "oracle missed a corrupted annealing configuration";
+
+    const auto shifted = testkit::ground_state_differential(
+        canvas, sim_params, anneal_for_fuzzing(0xbad5eed), 1e-6,
+        testkit::GroundStateFault::shift_exact_energy);
+    ASSERT_FALSE(shifted.ok) << "oracle missed a misreported exhaustive minimum";
+    EXPECT_NE(shifted.detail.find("not exact"), std::string::npos) << shifted.detail;
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+/// \file fuzz_sat.cpp
+/// \brief Differential fuzzing of the CDCL solver against brute-force model
+///        enumeration, plus mutation coverage of the oracle itself.
+
+#include "testing/oracles.hpp"
+#include "testing/random.hpp"
+#include "testing/reproducer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace bestagon;
+
+TEST(FuzzSat, CdclAgreesWithBruteForceOnRandomCnfs)
+{
+    const auto budget = testkit::fuzz_budget(0x5a7'0001, 150);
+    for (std::uint64_t i = 0; i < budget.iterations; ++i)
+    {
+        testkit::Rng rng{testkit::case_seed(budget.base_seed, i)};
+        const auto cnf = testkit::random_cnf(rng);
+        const auto verdict = testkit::sat_differential(cnf);
+        ASSERT_TRUE(verdict.ok) << verdict.detail << '\n'
+                                << testkit::reproducer("sat", budget.base_seed, i);
+    }
+}
+
+TEST(FuzzSat, DenseSmallCnfsExerciseTheUnsatPath)
+{
+    const auto budget = testkit::fuzz_budget(0x5a7'0002, 80);
+    testkit::CnfOptions options;
+    options.min_vars = 3;
+    options.max_vars = 8;
+    options.max_clause_len = 3;
+    options.clause_ratio_min = 4.0;  // beyond the 3-SAT threshold: mostly UNSAT
+    options.clause_ratio_max = 8.0;
+    for (std::uint64_t i = 0; i < budget.iterations; ++i)
+    {
+        testkit::Rng rng{testkit::case_seed(budget.base_seed, i)};
+        const auto verdict = testkit::sat_differential(testkit::random_cnf(rng, options));
+        ASSERT_TRUE(verdict.ok) << verdict.detail << '\n'
+                                << testkit::reproducer("sat-unsat", budget.base_seed, i);
+    }
+}
+
+/// Mutation coverage: a solver that misreports SAT<->UNSAT must be caught on
+/// every random instance, and the failure must carry a replayable seed.
+TEST(FuzzSat, OracleCatchesFlippedResults)
+{
+    const auto budget = testkit::fuzz_budget(0x5a7'0003, 20);
+    for (std::uint64_t i = 0; i < budget.iterations; ++i)
+    {
+        testkit::Rng rng{testkit::case_seed(budget.base_seed, i)};
+        testkit::CnfOptions options;
+        options.max_vars = 12;  // keep the UNSAT->brute-force sweep instant
+        const auto cnf = testkit::random_cnf(rng, options);
+        const auto verdict =
+            testkit::sat_differential(cnf, 20, testkit::SatFault::flip_reported_result);
+        ASSERT_FALSE(verdict.ok) << "oracle missed a flipped SAT/UNSAT answer\n"
+                                 << testkit::reproducer("sat-mutation", budget.base_seed, i);
+        const auto repro = testkit::reproducer("sat-mutation", budget.base_seed, i);
+        EXPECT_NE(repro.find("[bestagon-repro]"), std::string::npos);
+        EXPECT_NE(repro.find("BESTAGON_FUZZ_SEED=0x"), std::string::npos);
+    }
+}
+
+TEST(FuzzSat, OracleCatchesCorruptedModels)
+{
+    // var 1 is forced true; corrupting the model flips it and must be caught
+    sat::Cnf cnf;
+    cnf.num_vars = 1;
+    cnf.clauses = {{1}};
+    const auto verdict = testkit::sat_differential(cnf, 20, testkit::SatFault::corrupt_model);
+    ASSERT_FALSE(verdict.ok);
+    EXPECT_NE(verdict.detail.find("violates clause"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,24 @@
+/// \file golden_main.cpp
+/// \brief Entry point of the golden-file suite: plain gtest main plus the
+///        `--update-goldens` flag, which rewrites every golden under
+///        tests/golden/data/ with the current output instead of diffing
+///        (BESTAGON_UPDATE_GOLDENS=1 does the same through the environment).
+
+#include "testing/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+int main(int argc, char** argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    for (int i = 1; i < argc; ++i)
+    {
+        if (std::strcmp(argv[i], "--update-goldens") == 0)
+        {
+            bestagon::testkit::update_goldens_flag() = true;
+        }
+    }
+    return RUN_ALL_TESTS();
+}
