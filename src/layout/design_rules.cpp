@@ -111,6 +111,39 @@ void check_tile(const GateLevelLayout& layout, HexCoord t, DrcReport& report)
                 report.violations.push_back({t, "clocking", "connection does not enter the next phase"});
             }
         }
+
+        // connectivity of the incoming connections: a used NW input pairs
+        // with the NW neighbor's SE output, a used NE input with the NE
+        // neighbor's SW output — otherwise the port dangles (reads noise)
+        for (const auto in : {occ.in_a, occ.in_b})
+        {
+            if (!in.has_value())
+            {
+                continue;
+            }
+            const auto nb = neighbor(t, *in);
+            if (!layout.in_bounds(nb))
+            {
+                report.violations.push_back(
+                    {t, "connectivity", "input port reads from outside the layout"});
+                continue;
+            }
+            const Port expect = (*in == Port::nw) ? Port::se : Port::sw;
+            bool matched = false;
+            for (const auto& nocc : layout.occupants(nb))
+            {
+                if (nocc.out_a == expect || nocc.out_b == expect)
+                {
+                    matched = true;
+                    break;
+                }
+            }
+            if (!matched)
+            {
+                report.violations.push_back(
+                    {t, "connectivity", "input port has no matching driver"});
+            }
+        }
     }
 }
 

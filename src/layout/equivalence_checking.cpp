@@ -149,8 +149,18 @@ EquivalenceResult check_layout_equivalence(const LogicNetwork& spec, const GateL
     // network only to order PIs/POs, so a reference with the same interface
     // works as long as occupant node ids came from it. Here the caller passes
     // the same network used for physical design.
-    const auto extracted = layout.extract_network(spec);
-    return check_equivalence(spec, extracted, stats);
+    // a layout that does not even realize the interface (e.g. an empty
+    // layout, or one with missing I/O pins) cannot be equivalent; extraction
+    // signals that by throwing rather than producing a partial network
+    try
+    {
+        const auto extracted = layout.extract_network(spec);
+        return check_equivalence(spec, extracted, stats);
+    }
+    catch (const std::exception&)
+    {
+        return EquivalenceResult::not_equivalent;
+    }
 }
 
 }  // namespace bestagon::layout

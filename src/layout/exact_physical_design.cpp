@@ -1,12 +1,17 @@
 #include "layout/exact_physical_design.hpp"
 
+#include "sat/dimacs.hpp"
 #include "sat/encodings.hpp"
+#include "sat/proof.hpp"
+#include "sat/proof_check.hpp"
 #include "sat/solver.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <chrono>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -64,28 +69,55 @@ std::vector<unsigned> node_depths_to_po(const LogicNetwork& network)
     return depth;
 }
 
-/// Encoder + decoder for one aspect ratio.
+/// Names of the guard-selectable constraint groups, in guard order.
+/// I/O pinning is part of "placement" (pinned rows restrict the placement
+/// domain); "clocking" infeasibility is structural (empty row ranges) and is
+/// detected without solving.
+constexpr std::array<const char*, 4> group_names{"placement", "exclusivity", "routing",
+                                                 "capacity"};
+
+/// Encoder + decoder for one aspect ratio. With \p with_groups every clause
+/// carries a per-constraint-group guard literal, enabling unsat-core
+/// extraction over the groups via assumption-based solving.
 class SizeEncoding
 {
   public:
-    SizeEncoding(const LogicNetwork& network, unsigned w, unsigned h)
+    SizeEncoding(const LogicNetwork& network, unsigned w, unsigned h, bool with_groups = false)
         : network_{network}, w_{w}, h_{h}, levels_{node_levels(network)},
-          depths_{node_depths_to_po(network)}
+          depths_{node_depths_to_po(network)}, with_groups_{with_groups}
     {
+        if (with_groups_)
+        {
+            for (auto& g : group_guards_)
+            {
+                g = sat::pos(solver_.new_var());
+            }
+        }
         build();
     }
 
-    /// Returns a decoded layout if satisfiable within the budget.
+    [[nodiscard]] bool trivially_unsat() const noexcept { return trivially_unsat_; }
+
+    /// Returns a decoded layout if satisfiable within the budget. With
+    /// \p certify, every UNSAT verdict is DRAT-certified by the independent
+    /// checker and the outcome recorded in \p stats.
     std::optional<GateLevelLayout> solve(std::int64_t conflict_budget, std::int64_t time_budget_ms,
-                                         std::uint64_t* conflicts, bool* budget_hit)
+                                         std::uint64_t* conflicts, bool* budget_hit,
+                                         bool certify = false, ExactPDStats* stats = nullptr)
     {
         if (trivially_unsat_)
         {
             return std::nullopt;
         }
+        sat::MemoryProofTracer tracer;
+        if (certify)
+        {
+            solver_.set_proof_tracer(&tracer);
+        }
         solver_.set_conflict_budget(conflict_budget);
         solver_.set_time_budget_ms(time_budget_ms);
         const auto result = solver_.solve();
+        solver_.set_proof_tracer(nullptr);
         if (conflicts != nullptr)
         {
             *conflicts += solver_.stats().conflicts;
@@ -94,11 +126,58 @@ class SizeEncoding
         {
             *budget_hit = true;
         }
+        if (certify && stats != nullptr && result == sat::Result::unsatisfiable)
+        {
+            const auto check =
+                sat::check_drat_proof(sat::to_cnf(solver_.root_clauses()), tracer.proof());
+            if (check.valid)
+            {
+                ++stats->proofs_checked;
+            }
+            else
+            {
+                ++stats->proof_failures;
+            }
+        }
         if (result != sat::Result::satisfiable)
         {
             return std::nullopt;
         }
         return decode();
+    }
+
+    /// Solves under all group guards and, on UNSAT, returns the names of the
+    /// groups the refutation depends on. Requires with_groups construction.
+    /// Returns std::nullopt when the verdict is not UNSAT (budget, or — for
+    /// an incomplete group split — satisfiable).
+    std::optional<std::vector<std::string>> refuting_groups(std::int64_t conflict_budget,
+                                                            std::int64_t time_budget_ms)
+    {
+        assert(with_groups_);
+        if (trivially_unsat_)
+        {
+            return std::vector<std::string>{"clocking"};
+        }
+        solver_.set_conflict_budget(conflict_budget);
+        solver_.set_time_budget_ms(time_budget_ms);
+        std::vector<Lit> assumptions(group_guards_.begin(), group_guards_.end());
+        if (solver_.solve(assumptions) != sat::Result::unsatisfiable)
+        {
+            return std::nullopt;
+        }
+        std::vector<std::string> names;
+        for (const auto l : solver_.final_conflict())
+        {
+            for (std::size_t g = 0; g < group_guards_.size(); ++g)
+            {
+                if (l == group_guards_[g])
+                {
+                    names.emplace_back(group_names[g]);
+                }
+            }
+        }
+        std::sort(names.begin(), names.end());
+        return names;
     }
 
   private:
@@ -174,7 +253,7 @@ class SizeEncoding
                     options.push_back(sat::pos(var));
                 }
             }
-            sat::add_exactly_one(solver_, options);
+            sat::add_exactly_one(solver_, options, guard_of(grp_placement));
         }
 
         // at most one node per tile
@@ -191,7 +270,7 @@ class SizeEncoding
                         here.push_back(it->second);
                     }
                 }
-                sat::add_at_most_one(solver_, here);
+                sat::add_at_most_one(solver_, here, guard_of(grp_exclusivity));
             }
         }
 
@@ -261,19 +340,19 @@ class SizeEncoding
                     // "e at t needing a successor" -> exactly one outgoing arc
                     if (const auto pu = lit_of_place(u, t); pu.has_value())
                     {
-                        require_one_of(*pu, outgoing);
+                        require_one_of(grp_routing, *pu, outgoing);
                     }
                     if (const auto wt = lit_of_wire(e, t); wt.has_value())
                     {
-                        require_one_of(*wt, outgoing);
-                        require_one_of(*wt, incoming);
+                        require_one_of(grp_routing, *wt, outgoing);
+                        require_one_of(grp_routing, *wt, incoming);
                     }
                     if (const auto pv = lit_of_place(v, t); pv.has_value())
                     {
-                        require_one_of(*pv, incoming);
+                        require_one_of(grp_routing, *pv, incoming);
                     }
-                    sat::add_at_most_one(solver_, outgoing);
-                    sat::add_at_most_one(solver_, incoming);
+                    sat::add_at_most_one(solver_, outgoing, guard_of(grp_routing));
+                    sat::add_at_most_one(solver_, incoming, guard_of(grp_routing));
                 }
             }
 
@@ -295,7 +374,7 @@ class SizeEncoding
                 {
                     tail.push_back(*wt);
                 }
-                solver_.add_clause(tail);
+                emit(grp_routing, std::move(tail));
                 std::vector<Lit> head{~lit};
                 if (const auto pv = lit_of_place(v, to); pv.has_value())
                 {
@@ -305,7 +384,7 @@ class SizeEncoding
                 {
                     head.push_back(*wt);
                 }
-                solver_.add_clause(head);
+                emit(grp_routing, std::move(head));
             }
         }
 
@@ -321,7 +400,7 @@ class SizeEncoding
             for (const auto& [arc, lits] : by_arc)
             {
                 static_cast<void>(arc);
-                sat::add_at_most_one(solver_, lits);
+                sat::add_at_most_one(solver_, lits, guard_of(grp_capacity));
             }
         }
 
@@ -333,7 +412,7 @@ class SizeEncoding
             {
                 if (const auto it = place_.find({v, t}); it != place_.end())
                 {
-                    solver_.add_clause(~wlit, ~it->second);
+                    emit(grp_exclusivity, {~wlit, ~it->second});
                 }
             }
         }
@@ -359,12 +438,37 @@ class SizeEncoding
         return it->second;
     }
 
-    /// guard -> at least one of options (the AMO part is added separately).
-    void require_one_of(Lit guard, const std::vector<Lit>& options)
+    // constraint-group indices into group_guards_ / group_names
+    static constexpr std::size_t grp_placement = 0;
+    static constexpr std::size_t grp_exclusivity = 1;
+    static constexpr std::size_t grp_routing = 2;
+    static constexpr std::size_t grp_capacity = 3;
+
+    [[nodiscard]] std::optional<Lit> guard_of(std::size_t group) const
     {
-        std::vector<Lit> clause{~guard};
+        if (!with_groups_)
+        {
+            return std::nullopt;
+        }
+        return group_guards_[group];
+    }
+
+    /// Adds \p clause, weakened by the group's guard when in group mode.
+    void emit(std::size_t group, std::vector<Lit> clause)
+    {
+        if (with_groups_)
+        {
+            clause.push_back(~group_guards_[group]);
+        }
+        solver_.add_clause(std::move(clause));
+    }
+
+    /// trigger -> at least one of options (the AMO part is added separately).
+    void require_one_of(std::size_t group, Lit trigger, const std::vector<Lit>& options)
+    {
+        std::vector<Lit> clause{~trigger};
         clause.insert(clause.end(), options.begin(), options.end());
-        solver_.add_clause(clause);
+        emit(group, std::move(clause));
     }
 
     [[nodiscard]] GateLevelLayout decode() const
@@ -489,6 +593,8 @@ class SizeEncoding
     std::vector<NodeId> nodes_;
     std::vector<Edge> edges_;
     bool trivially_unsat_{false};
+    bool with_groups_{false};
+    std::array<Lit, group_names.size()> group_guards_{};
 
     sat::Solver solver_;
     std::map<std::pair<NodeId, HexCoord>, Lit> place_;
@@ -558,7 +664,8 @@ std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& 
         SizeEncoding encoding{network, w, h};
         bool budget_hit = false;
         std::uint64_t conflicts = 0;
-        auto layout = encoding.solve(options.conflicts_per_size, remaining, &conflicts, &budget_hit);
+        auto layout = encoding.solve(options.conflicts_per_size, remaining, &conflicts, &budget_hit,
+                                     options.certify_unsat, stats);
         if (stats != nullptr)
         {
             stats->total_conflicts += conflicts;
@@ -575,6 +682,29 @@ std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& 
     if (stats != nullptr && stats->message.empty())
     {
         stats->message = "no layout within size limits";
+    }
+
+    // infeasibility diagnosis: only meaningful when every size was genuinely
+    // refuted (a budget-truncated decline proves nothing)
+    if (options.diagnose_infeasibility && stats != nullptr && !stats->budget_exhausted &&
+        !sizes.empty())
+    {
+        const auto remaining = options.time_budget_ms - (now_ms() - start);
+        if (remaining > 0)
+        {
+            const auto [w, h] = sizes.back();  // the most permissive aspect ratio
+            SizeEncoding diagnosis{network, w, h, /*with_groups=*/true};
+            if (auto groups = diagnosis.refuting_groups(options.conflicts_per_size, remaining);
+                groups.has_value())
+            {
+                stats->refuting_groups = std::move(*groups);
+                stats->message += "; refuted by constraint groups:";
+                for (const auto& g : stats->refuting_groups)
+                {
+                    stats->message += ' ' + g;
+                }
+            }
+        }
     }
     return std::nullopt;
 }

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace bestagon::layout
 {
@@ -27,6 +28,15 @@ struct ExactPDOptions
     unsigned max_height{20};
     std::int64_t conflicts_per_size{300000};  ///< SAT conflict budget per aspect ratio
     std::int64_t time_budget_ms{120000};      ///< overall wall-clock budget
+
+    /// Emit a DRAT proof for every aspect ratio the solver refutes and check
+    /// it with the independent proof checker; results land in ExactPDStats.
+    bool certify_unsat{false};
+
+    /// On a declined instance (no layout, budget NOT exhausted), re-encode
+    /// the largest aspect ratio with per-constraint-group guard literals and
+    /// extract which groups refute it (ExactPDStats::refuting_groups).
+    bool diagnose_infeasibility{false};
 };
 
 struct ExactPDStats
@@ -35,6 +45,14 @@ struct ExactPDStats
     std::uint64_t total_conflicts{0};
     bool budget_exhausted{false};
     std::string message;
+
+    unsigned proofs_checked{0};   ///< UNSAT verdicts certified by the checker
+    unsigned proof_failures{0};   ///< UNSAT verdicts whose proof did NOT check
+
+    /// Constraint groups a declined instance's refutation depends on
+    /// ("clocking", "placement", "exclusivity", "routing", "capacity");
+    /// empty unless diagnose_infeasibility was set and the flow declined.
+    std::vector<std::string> refuting_groups;
 };
 
 /// Runs exact physical design on a Bestagon-compliant mapped network.

@@ -1,6 +1,9 @@
 #include "logic/exact_synthesis.hpp"
 
+#include "sat/dimacs.hpp"
 #include "sat/encodings.hpp"
+#include "sat/proof.hpp"
+#include "sat/proof_check.hpp"
 #include "sat/solver.hpp"
 
 #include <cassert>
@@ -18,15 +21,23 @@ using sat::Solver;
 using sat::neg;
 using sat::pos;
 
-/// One synthesis attempt with exactly \p r two-input steps.
+/// One synthesis attempt with exactly \p r two-input steps. \p verdict
+/// reports the solver outcome so callers can tell a refuted gate count
+/// (minimality evidence) from a budget-exhausted one.
 std::optional<LogicNetwork> synthesize_with_r_steps(const TruthTable& f, unsigned r,
-                                                    std::int64_t conflict_budget)
+                                                    std::int64_t conflict_budget, Result& verdict,
+                                                    SynthesisStats* stats, bool certify_unsat)
 {
     const unsigned n = f.num_vars();
     const unsigned num_patterns = 1U << n;
     const unsigned total = n + r;
 
     Solver solver;
+    sat::MemoryProofTracer tracer;
+    if (certify_unsat)
+    {
+        solver.set_proof_tracer(&tracer);
+    }
     solver.set_conflict_budget(conflict_budget);
 
     // selection variables s[i][(j,k)] for steps i in [n, total)
@@ -141,8 +152,22 @@ std::optional<LogicNetwork> synthesize_with_r_steps(const TruthTable& f, unsigne
         }
     }
 
-    if (solver.solve() != Result::satisfiable)
+    verdict = solver.solve();
+    if (verdict != Result::satisfiable)
     {
+        if (verdict == Result::unsatisfiable && certify_unsat && stats != nullptr)
+        {
+            const auto check =
+                sat::check_drat_proof(sat::to_cnf(solver.root_clauses()), tracer.proof());
+            if (check.valid)
+            {
+                ++stats->proofs_checked;
+            }
+            else
+            {
+                ++stats->proof_failures;
+            }
+        }
         return std::nullopt;
     }
 
@@ -209,7 +234,8 @@ std::optional<LogicNetwork> synthesize_with_r_steps(const TruthTable& f, unsigne
 }  // namespace
 
 std::optional<LogicNetwork> exact_synthesize(const TruthTable& f, unsigned max_gates,
-                                             std::int64_t conflict_budget)
+                                             std::int64_t conflict_budget, SynthesisStats* stats,
+                                             bool certify_unsat)
 {
     const unsigned n = f.num_vars();
 
@@ -241,9 +267,21 @@ std::optional<LogicNetwork> exact_synthesize(const TruthTable& f, unsigned max_g
 
     for (unsigned r = 1; r <= max_gates; ++r)
     {
-        if (auto net = synthesize_with_r_steps(f, r, conflict_budget))
+        auto verdict = Result::unknown;
+        if (auto net = synthesize_with_r_steps(f, r, conflict_budget, verdict, stats, certify_unsat))
         {
             return net;
+        }
+        if (stats != nullptr)
+        {
+            if (verdict == Result::unsatisfiable)
+            {
+                ++stats->unsat_steps;
+            }
+            else
+            {
+                ++stats->unknown_steps;
+            }
         }
     }
     return std::nullopt;

@@ -20,12 +20,34 @@
 namespace bestagon::logic
 {
 
+/// Per-run accounting for exact_synthesize. Distinguishes gate counts the
+/// solver *proved* infeasible from ones it merely gave up on — a decline is
+/// a minimality certificate only when no step exhausted its budget.
+struct SynthesisStats
+{
+    unsigned unsat_steps{0};    ///< r values refuted by the solver
+    unsigned unknown_steps{0};  ///< r values that hit the conflict budget
+    unsigned proofs_checked{0};   ///< refutations certified by the DRAT checker
+    unsigned proof_failures{0};   ///< refutations whose proof did NOT check
+
+    /// True iff every attempted gate count was genuinely refuted, so a
+    /// std::nullopt result proves no implementation with <= max_gates exists.
+    [[nodiscard]] bool decline_is_certified() const noexcept
+    {
+        return unknown_steps == 0 && proof_failures == 0;
+    }
+};
+
 /// Synthesizes a minimal network computing \p f over its variables.
 /// Returns std::nullopt if no implementation with at most \p max_gates
 /// two-input gates was found within the conflict budget per SAT call.
 /// The returned network has f.num_vars() PIs and one PO.
+/// With \p certify_unsat, every refuted gate count is DRAT-certified by the
+/// independent proof checker (outcomes in \p stats).
 [[nodiscard]] std::optional<LogicNetwork> exact_synthesize(const TruthTable& f, unsigned max_gates = 7,
-                                                           std::int64_t conflict_budget = 50000);
+                                                           std::int64_t conflict_budget = 50000,
+                                                           SynthesisStats* stats = nullptr,
+                                                           bool certify_unsat = false);
 
 /// A cache of exact implementations keyed by canonical NPN representative.
 class NpnDatabase

@@ -242,7 +242,7 @@ LogicNetwork strash(const LogicNetwork& network)
                 break;
             default: break;
         }
-        const auto key = std::make_tuple(type, fanins.size() > 0 ? fanins[0] : 0,
+        const auto key = std::make_tuple(type, !fanins.empty() ? fanins[0] : 0,
                                          fanins.size() > 1 ? fanins[1] : 0,
                                          fanins.size() > 2 ? fanins[2] : 0);
         if (const auto it = hash.find(key); it != hash.end())

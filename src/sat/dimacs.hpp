@@ -32,4 +32,8 @@ void write_dimacs(std::ostream& out, const Cnf& cnf);
 /// Returns false if the formula is trivially unsatisfiable.
 bool load_into_solver(Solver& solver, const Cnf& cnf);
 
+/// Converts solver-level clauses (e.g. Solver::root_clauses()) to a Cnf for
+/// proof checking or DIMACS export.
+[[nodiscard]] Cnf to_cnf(const std::vector<std::vector<Lit>>& clauses);
+
 }  // namespace bestagon::sat

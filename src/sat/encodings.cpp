@@ -5,7 +5,22 @@
 namespace bestagon::sat
 {
 
-void add_at_most_one(Solver& solver, std::span<const Lit> lits)
+namespace
+{
+
+/// Emits \p clause, weakened by ~guard when a guard literal is present.
+void emit_guarded(Solver& solver, const std::optional<Lit>& guard, std::vector<Lit> clause)
+{
+    if (guard.has_value())
+    {
+        clause.push_back(~*guard);
+    }
+    solver.add_clause(std::move(clause));
+}
+
+}  // namespace
+
+void add_at_most_one(Solver& solver, std::span<const Lit> lits, std::optional<Lit> guard)
 {
     const std::size_t n = lits.size();
     if (n <= 1)
@@ -18,7 +33,7 @@ void add_at_most_one(Solver& solver, std::span<const Lit> lits)
         {
             for (std::size_t j = i + 1; j < n; ++j)
             {
-                solver.add_clause(~lits[i], ~lits[j]);
+                emit_guarded(solver, guard, {~lits[i], ~lits[j]});
             }
         }
         return;
@@ -29,21 +44,21 @@ void add_at_most_one(Solver& solver, std::span<const Lit> lits)
     {
         l = pos(solver.new_var());
     }
-    solver.add_clause(~lits[0], s[0]);
+    emit_guarded(solver, guard, {~lits[0], s[0]});
     for (std::size_t i = 1; i + 1 < n; ++i)
     {
-        solver.add_clause(~lits[i], s[i]);
-        solver.add_clause(~s[i - 1], s[i]);
-        solver.add_clause(~lits[i], ~s[i - 1]);
+        emit_guarded(solver, guard, {~lits[i], s[i]});
+        emit_guarded(solver, guard, {~s[i - 1], s[i]});
+        emit_guarded(solver, guard, {~lits[i], ~s[i - 1]});
     }
-    solver.add_clause(~lits[n - 1], ~s[n - 2]);
+    emit_guarded(solver, guard, {~lits[n - 1], ~s[n - 2]});
 }
 
-void add_exactly_one(Solver& solver, std::span<const Lit> lits)
+void add_exactly_one(Solver& solver, std::span<const Lit> lits, std::optional<Lit> guard)
 {
     assert(!lits.empty());
-    solver.add_clause(std::vector<Lit>(lits.begin(), lits.end()));
-    add_at_most_one(solver, lits);
+    emit_guarded(solver, guard, std::vector<Lit>(lits.begin(), lits.end()));
+    add_at_most_one(solver, lits, guard);
 }
 
 void add_at_most_k(Solver& solver, std::span<const Lit> lits, unsigned k)

@@ -9,6 +9,7 @@
 
 #include "sat/solver.hpp"
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -18,10 +19,19 @@ namespace bestagon::sat
 /// Adds clauses enforcing that at most one of \p lits is true.
 /// Uses pairwise encoding for small inputs and a commander-style
 /// sequential encoding for larger ones.
-void add_at_most_one(Solver& solver, std::span<const Lit> lits);
+///
+/// When \p guard is given, every emitted clause c becomes (~guard v c), so
+/// the constraint is only enforced while guard is assumed true. This powers
+/// unsat-core extraction over constraint groups: solve under the guards as
+/// assumptions and read Solver::final_conflict(). Auxiliary ladder variables
+/// stay sound — a false guard satisfies all of their defining clauses.
+void add_at_most_one(Solver& solver, std::span<const Lit> lits,
+                     std::optional<Lit> guard = std::nullopt);
 
 /// Adds clauses enforcing that exactly one of \p lits is true.
-void add_exactly_one(Solver& solver, std::span<const Lit> lits);
+/// \p guard has the same semantics as in add_at_most_one().
+void add_exactly_one(Solver& solver, std::span<const Lit> lits,
+                     std::optional<Lit> guard = std::nullopt);
 
 /// Adds clauses enforcing that at most \p k of \p lits are true
 /// (sequential counter encoding by Sinz).

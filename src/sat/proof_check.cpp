@@ -1,0 +1,460 @@
+#include "sat/proof_check.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace bestagon::sat
+{
+
+namespace
+{
+
+constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+/// A clause in the checker's database. Literals are deduplicated and sorted
+/// DIMACS integers; the first two act as the watched literals and are
+/// reordered in place during propagation.
+struct CheckClause
+{
+    std::vector<int> lits;
+    bool active{false};
+    bool core{false};
+    bool tautology{false};
+};
+
+/// Normalized copy of \p lits: sorted by |lit|, duplicates removed.
+/// Sets \p tautology if the clause contains complementary literals.
+std::vector<int> normalize(std::vector<int> lits, bool& tautology)
+{
+    std::sort(lits.begin(), lits.end(),
+              [](int a, int b) { return std::abs(a) != std::abs(b) ? std::abs(a) < std::abs(b) : a < b; });
+    lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+    tautology = false;
+    for (std::size_t i = 1; i < lits.size(); ++i)
+    {
+        if (lits[i] == -lits[i - 1])
+        {
+            tautology = true;
+            break;
+        }
+    }
+    return lits;
+}
+
+class Checker
+{
+  public:
+    Checker(const Cnf& formula, const DratProof& proof, ProofCheckMode mode)
+        : formula_{formula}, proof_{proof}, mode_{mode}
+    {
+    }
+
+    ProofCheckResult run()
+    {
+        build();
+        if (!result_.error.empty())
+        {
+            return result_;
+        }
+
+        // terminal check: the empty clause must be derivable from the final
+        // database (skipped for SAT-preserving partial proofs)
+        const bool need_empty = mode_ == ProofCheckMode::refutation;
+        const bool empty_ok = rup_empty();
+        if (need_empty && !empty_ok)
+        {
+            result_.error = "the formula plus all proof lemmas do not propagate to a conflict — "
+                            "the proof does not derive the empty clause";
+            return result_;
+        }
+
+        // backward pass
+        for (std::size_t s = end_; s-- > 0;)
+        {
+            const auto& step = proof_.steps[s];
+            const std::size_t ci = step_clause_[s];
+            if (step.is_delete)
+            {
+                if (ci != npos)
+                {
+                    clauses_[ci].active = true;  // watch entries persisted
+                }
+                continue;
+            }
+            CheckClause& c = clauses_[ci];
+            c.active = false;
+            if (mode_ != ProofCheckMode::all_lemmas && !c.core)
+            {
+                continue;  // lazy: the refutation never uses this lemma
+            }
+            ++result_.checked_lemmas;
+            if (c.tautology)
+            {
+                continue;  // tautologies are trivially redundant
+            }
+            if (!rup(c.lits))
+            {
+                std::ostringstream out;
+                out << "lemma at proof step " << s << " (";
+                for (const auto l : c.lits)
+                {
+                    out << l << ' ';
+                }
+                out << "0) is not RUP with respect to the preceding clauses";
+                result_.error = out.str();
+                return result_;
+            }
+        }
+
+        for (std::size_t s = 0; s < end_; ++s)
+        {
+            const auto& step = proof_.steps[s];
+            if (!step.is_delete && step_clause_[s] != npos && clauses_[step_clause_[s]].core)
+            {
+                ++result_.core_lemmas;
+                result_.core_steps.push_back(s);
+            }
+        }
+        for (std::size_t ci = 0; ci < num_formula_clauses_; ++ci)
+        {
+            result_.core_formula_clauses += clauses_[ci].core ? 1 : 0;
+        }
+        result_.valid = true;
+        return result_;
+    }
+
+  private:
+    [[nodiscard]] static std::size_t lit_index(int l)
+    {
+        return 2 * (static_cast<std::size_t>(std::abs(l)) - 1) + (l < 0 ? 1 : 0);
+    }
+
+    /// -1 false, 0 unassigned, +1 true under the current assignment.
+    [[nodiscard]] int value(int l) const
+    {
+        const auto a = assign_[static_cast<std::size_t>(std::abs(l)) - 1];
+        if (a == 0)
+        {
+            return 0;
+        }
+        return (a > 0) == (l > 0) ? 1 : -1;
+    }
+
+    void ensure_var(int l)
+    {
+        const auto v = static_cast<std::size_t>(std::abs(l));
+        if (v > num_vars_)
+        {
+            num_vars_ = v;
+        }
+    }
+
+    /// Registers a normalized clause in the database and returns its id.
+    std::size_t add_clause(std::vector<int> lits, bool tautology, bool active)
+    {
+        const std::size_t ci = clauses_.size();
+        clauses_.push_back({std::move(lits), active, false, tautology});
+        const auto& c = clauses_.back();
+        if (!tautology)
+        {
+            if (c.lits.size() == 1)
+            {
+                units_.push_back(ci);
+            }
+            else if (c.lits.size() >= 2)
+            {
+                watch_[lit_index(c.lits[0])].push_back(ci);
+                watch_[lit_index(c.lits[1])].push_back(ci);
+            }
+            else
+            {
+                empty_clauses_.push_back(ci);
+            }
+        }
+        if (active)
+        {
+            key_map_[c.lits].push_back(ci);
+        }
+        return ci;
+    }
+
+    void build()
+    {
+        // size the variable domain before allocating watch lists
+        for (const auto& clause : formula_.clauses)
+        {
+            for (const auto l : clause)
+            {
+                ensure_var(l);
+            }
+        }
+        for (const auto& step : proof_.steps)
+        {
+            for (const auto l : step.lits)
+            {
+                ensure_var(l);
+            }
+        }
+        num_vars_ = std::max<std::size_t>(num_vars_, static_cast<std::size_t>(
+                                                         std::max(formula_.num_vars, 0)));
+        assign_.assign(num_vars_, 0);
+        reason_.assign(num_vars_, npos);
+        seen_.assign(num_vars_, 0);
+        watch_.assign(2 * num_vars_, {});
+
+        for (const auto& clause : formula_.clauses)
+        {
+            bool tautology = false;
+            auto lits = normalize(clause, tautology);
+            add_clause(std::move(lits), tautology, true);
+        }
+        num_formula_clauses_ = clauses_.size();
+
+        // forward pass: replay the proof up to (and including) the first
+        // explicit empty-clause addition
+        end_ = proof_.steps.size();
+        step_clause_.assign(proof_.steps.size(), npos);
+        for (std::size_t s = 0; s < proof_.steps.size(); ++s)
+        {
+            const auto& step = proof_.steps[s];
+            bool tautology = false;
+            auto lits = normalize(step.lits, tautology);
+            if (step.is_delete)
+            {
+                // deletions of unknown clauses are ignored (drat-trim
+                // semantics); deletions must reference active clauses
+                const auto it = key_map_.find(lits);
+                if (it != key_map_.end() && !it->second.empty())
+                {
+                    const std::size_t ci = it->second.back();
+                    it->second.pop_back();
+                    clauses_[ci].active = false;
+                    step_clause_[s] = ci;
+                }
+                continue;
+            }
+            ++result_.num_lemmas;
+            const bool is_empty = lits.empty();
+            step_clause_[s] = add_clause(std::move(lits), tautology, true);
+            if (is_empty)
+            {
+                end_ = s + 1;  // everything after the refutation is irrelevant
+                break;
+            }
+        }
+    }
+
+    bool enqueue(int l, std::size_t reason)
+    {
+        assign_[static_cast<std::size_t>(std::abs(l)) - 1] = static_cast<std::int8_t>(l > 0 ? 1 : -1);
+        reason_[static_cast<std::size_t>(std::abs(l)) - 1] = reason;
+        trail_.push_back(l);
+        return true;
+    }
+
+    /// Unit propagation to fixpoint; returns the conflicting clause or npos.
+    std::size_t propagate()
+    {
+        while (qhead_ < trail_.size())
+        {
+            const int p = trail_[qhead_++];
+            ++result_.propagations;
+            const int falsified = -p;
+            auto& ws = watch_[lit_index(falsified)];
+            std::size_t i = 0;
+            std::size_t j = 0;
+            const std::size_t n = ws.size();
+            std::size_t conflict = npos;
+            while (i < n)
+            {
+                const std::size_t ci = ws[i];
+                CheckClause& c = clauses_[ci];
+                if (!c.active)
+                {
+                    ws[j++] = ws[i++];  // keep: the clause may be reactivated
+                    continue;
+                }
+                if (c.lits[0] == falsified)
+                {
+                    std::swap(c.lits[0], c.lits[1]);
+                }
+                assert(c.lits[1] == falsified);
+                if (value(c.lits[0]) == 1)
+                {
+                    ws[j++] = ws[i++];
+                    continue;
+                }
+                bool moved = false;
+                for (std::size_t k = 2; k < c.lits.size(); ++k)
+                {
+                    if (value(c.lits[k]) != -1)
+                    {
+                        std::swap(c.lits[1], c.lits[k]);
+                        watch_[lit_index(c.lits[1])].push_back(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if (moved)
+                {
+                    ++i;  // the watch left this list
+                    continue;
+                }
+                ws[j++] = ws[i++];
+                if (value(c.lits[0]) == -1)
+                {
+                    conflict = ci;
+                    while (i < n)
+                    {
+                        ws[j++] = ws[i++];
+                    }
+                }
+                else
+                {
+                    enqueue(c.lits[0], ci);
+                }
+            }
+            ws.resize(j);
+            if (conflict != npos)
+            {
+                return conflict;
+            }
+        }
+        return npos;
+    }
+
+    /// Marks the conflict clause and, transitively, every reason clause that
+    /// contributed to the conflict as core.
+    void mark_core(std::size_t conflict)
+    {
+        clauses_[conflict].core = true;
+        for (const auto l : clauses_[conflict].lits)
+        {
+            seen_[static_cast<std::size_t>(std::abs(l)) - 1] = 1;
+        }
+        for (std::size_t i = trail_.size(); i-- > 0;)
+        {
+            const auto v = static_cast<std::size_t>(std::abs(trail_[i])) - 1;
+            if (seen_[v] == 0)
+            {
+                continue;
+            }
+            const std::size_t r = reason_[v];
+            if (r != npos)
+            {
+                clauses_[r].core = true;
+                for (const auto l : clauses_[r].lits)
+                {
+                    seen_[static_cast<std::size_t>(std::abs(l)) - 1] = 1;
+                }
+            }
+        }
+        for (const auto l : trail_)
+        {
+            seen_[static_cast<std::size_t>(std::abs(l)) - 1] = 0;
+        }
+    }
+
+    void backtrack()
+    {
+        for (const auto l : trail_)
+        {
+            assign_[static_cast<std::size_t>(std::abs(l)) - 1] = 0;
+        }
+        trail_.clear();
+        qhead_ = 0;
+    }
+
+    /// RUP check of \p lits: assuming all its literals false, does unit
+    /// propagation over the active clauses derive a conflict?
+    bool rup(const std::vector<int>& lits)
+    {
+        trail_.clear();
+        qhead_ = 0;
+        for (const auto l : lits)
+        {
+            if (value(-l) == 0)
+            {
+                enqueue(-l, npos);
+            }
+        }
+        std::size_t conflict = npos;
+        for (const auto ci : units_)
+        {
+            const CheckClause& c = clauses_[ci];
+            if (!c.active)
+            {
+                continue;
+            }
+            const int l = c.lits[0];
+            if (value(l) == -1)
+            {
+                conflict = ci;
+                break;
+            }
+            if (value(l) == 0)
+            {
+                enqueue(l, ci);
+            }
+        }
+        if (conflict == npos)
+        {
+            for (const auto ci : empty_clauses_)
+            {
+                if (clauses_[ci].active)
+                {
+                    conflict = ci;  // an empty clause is an immediate conflict
+                    break;
+                }
+            }
+        }
+        if (conflict == npos)
+        {
+            conflict = propagate();
+        }
+        const bool ok = conflict != npos;
+        if (ok)
+        {
+            mark_core(conflict);
+        }
+        backtrack();
+        return ok;
+    }
+
+    bool rup_empty() { return rup({}); }
+
+    const Cnf& formula_;
+    const DratProof& proof_;
+    ProofCheckMode mode_;
+
+    std::size_t num_vars_{0};
+    std::size_t num_formula_clauses_{0};
+    std::size_t end_{0};
+    std::vector<CheckClause> clauses_;
+    std::vector<std::size_t> step_clause_;
+    std::vector<std::vector<std::size_t>> watch_;
+    std::vector<std::size_t> units_;
+    std::vector<std::size_t> empty_clauses_;
+    std::map<std::vector<int>, std::vector<std::size_t>> key_map_;
+
+    std::vector<std::int8_t> assign_;
+    std::vector<std::size_t> reason_;
+    std::vector<std::uint8_t> seen_;
+    std::vector<int> trail_;
+    std::size_t qhead_{0};
+
+    ProofCheckResult result_;
+};
+
+}  // namespace
+
+ProofCheckResult check_drat_proof(const Cnf& formula, const DratProof& proof, ProofCheckMode mode)
+{
+    return Checker{formula, proof, mode}.run();
+}
+
+}  // namespace bestagon::sat

@@ -1,0 +1,67 @@
+/// \file proof_check.hpp
+/// \brief Independent backward DRAT proof checker.
+///
+/// Validates that a DRAT proof emitted by the solver (see proof.hpp) really
+/// refutes a CNF formula, without trusting any solver state: the checker
+/// re-implements unit propagation from scratch over the formula text and the
+/// proof's clause additions/deletions.
+///
+/// Algorithm (backward checking with lazy core marking, after drat-trim):
+///  1. forward pass: replay all additions and deletions to reconstruct the
+///     clause database active at the end of the proof;
+///  2. terminal check: the empty clause must be RUP — unit propagation over
+///     the active clauses alone must yield a conflict; the clauses
+///     participating in that conflict are marked as core;
+///  3. backward pass: walking the proof in reverse, each addition is removed
+///     from the database first and, if (and only if) it was marked core,
+///     re-derived by RUP against the clauses that preceded it; the clauses
+///     its derivation uses are marked core in turn. Deletions are undone by
+///     reactivating the deleted clause.
+///
+/// Lemmas never reached by the marking are skipped — they cannot influence
+/// the refutation. ProofCheckMode::all_lemmas disables the laziness and
+/// verifies every addition (for SAT-preserving partial proofs, e.g. from
+/// assumption-based solving where no empty clause is derived).
+
+#pragma once
+
+#include "sat/dimacs.hpp"
+#include "sat/proof.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bestagon::sat
+{
+
+enum class ProofCheckMode : std::uint8_t
+{
+    refutation,  ///< require the empty clause; verify only the lazy core
+    all_lemmas   ///< verify every addition; the empty clause is optional
+};
+
+struct ProofCheckResult
+{
+    bool valid{false};
+    std::string error;  ///< first failure, empty when valid
+
+    std::size_t num_lemmas{0};            ///< addition steps considered
+    std::size_t checked_lemmas{0};        ///< lemmas actually RUP-verified
+    std::size_t core_lemmas{0};           ///< lemmas the refutation depends on
+    std::size_t core_formula_clauses{0};  ///< formula clauses in the core
+    std::uint64_t propagations{0};        ///< total unit propagations
+
+    /// Proof step indices (into DratProof::steps) of the core lemmas.
+    std::vector<std::size_t> core_steps;
+
+    explicit operator bool() const noexcept { return valid; }
+};
+
+/// Checks \p proof against \p formula. In refutation mode the result is
+/// valid iff the proof certifies the formula unsatisfiable.
+[[nodiscard]] ProofCheckResult check_drat_proof(const Cnf& formula, const DratProof& proof,
+                                                ProofCheckMode mode = ProofCheckMode::refutation);
+
+}  // namespace bestagon::sat

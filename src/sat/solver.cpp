@@ -1,5 +1,7 @@
 #include "sat/solver.hpp"
 
+#include "sat/proof.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -147,6 +149,10 @@ void Solver::attach_clause(CRef cr)
 
 void Solver::remove_clause(CRef cr)
 {
+    if (proof_ != nullptr)
+    {
+        proof_->delete_clause(clauses_[cr].lits);
+    }
     clauses_[cr].deleted = true;  // watches are cleaned lazily during propagation
     ++stats_.deleted_clauses;
 }
@@ -180,11 +186,16 @@ bool Solver::add_clause(std::vector<Lit> lits)
 
     if (out.empty())
     {
+        // record the original clause: it is not stored anywhere else, yet the
+        // formula snapshot needs it to remain unsatisfiable (all its literals
+        // are falsified by root-level propagation)
+        root_conflict_clauses_.push_back(lits);
         ok_ = false;
         return false;
     }
     if (out.size() == 1)
     {
+        root_units_.push_back(out[0]);
         unchecked_enqueue(out[0], cref_undef);
         ok_ = (propagate() == cref_undef);
         return ok_;
@@ -489,6 +500,55 @@ bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels)
     return true;
 }
 
+void Solver::analyze_final(Lit failed_assumption)
+{
+    conflict_core_.clear();
+    conflict_core_.push_back(failed_assumption);
+    if (decision_level() == 0)
+    {
+        return;  // ~failed_assumption is implied by the formula alone
+    }
+
+    std::vector<Var> to_clear;
+    const Var pv = failed_assumption.var();
+    seen_[static_cast<std::size_t>(pv)] = 1;
+    to_clear.push_back(pv);
+
+    const auto bound = static_cast<std::size_t>(trail_lim_[0]);
+    for (std::size_t i = trail_.size(); i > bound; --i)
+    {
+        const Var v = trail_[i - 1].var();
+        if (seen_[static_cast<std::size_t>(v)] == 0)
+        {
+            continue;
+        }
+        const CRef cr = reason_[static_cast<std::size_t>(v)];
+        if (cr == cref_undef)
+        {
+            // a decision inside the assumption prefix is an assumption
+            assert(level_[static_cast<std::size_t>(v)] > 0);
+            conflict_core_.push_back(trail_[i - 1]);
+        }
+        else
+        {
+            const Clause& c = clauses_[cr];
+            for (std::size_t k = 1; k < c.lits.size(); ++k)
+            {
+                const Var x = c.lits[k].var();
+                if (seen_[static_cast<std::size_t>(x)] == 0 && level_[static_cast<std::size_t>(x)] > 0)
+                {
+                    seen_[static_cast<std::size_t>(x)] = 1;
+                    to_clear.push_back(x);
+                }
+            }
+        }
+    }
+    for (const auto v : to_clear)
+    {
+        seen_[static_cast<std::size_t>(v)] = 0;
+    }
+}
+
 Lit Solver::pick_branch_lit()
 {
     Var next = -1;
@@ -576,12 +636,20 @@ Result Solver::search(std::int64_t conflicts_allowed)
             ++conflicts_here;
             if (decision_level() == 0)
             {
+                if (proof_ != nullptr)
+                {
+                    proof_->add_derived_clause({});  // the refutation terminator
+                }
                 ok_ = false;
                 return Result::unsatisfiable;
             }
             int bt_level = 0;
             std::uint32_t lbd = 0;
             analyze(conflict, learnt, bt_level, lbd);
+            if (proof_ != nullptr)
+            {
+                proof_->add_derived_clause(learnt);
+            }
             cancel_until(bt_level);
             if (learnt.size() == 1)
             {
@@ -628,7 +696,8 @@ Result Solver::search(std::int64_t conflicts_allowed)
             }
             else if (value(a) == LBool::false_)
             {
-                return Result::unsatisfiable;  // conflicting assumption
+                analyze_final(a);  // conflicting assumption: extract the core
+                return Result::unsatisfiable;
             }
             else
             {
@@ -650,13 +719,36 @@ Result Solver::search(std::int64_t conflicts_allowed)
     }
 }
 
+std::vector<std::vector<Lit>> Solver::root_clauses() const
+{
+    std::vector<std::vector<Lit>> out;
+    out.reserve(root_units_.size() + root_conflict_clauses_.size() + problem_clauses_.size());
+    for (const auto l : root_units_)
+    {
+        out.push_back({l});
+    }
+    for (const auto& c : root_conflict_clauses_)
+    {
+        out.push_back(c);
+    }
+    for (const auto cr : problem_clauses_)
+    {
+        out.push_back(clauses_[cr].lits);
+    }
+    return out;
+}
+
 Result Solver::solve(const std::vector<Lit>& assumptions)
 {
+    // copy before clearing the core: callers may pass final_conflict()
+    // itself back in to re-solve under the extracted core
+    assumptions_ = assumptions;
+    conflict_core_.clear();
     if (!ok_)
     {
+        assumptions_.clear();
         return Result::unsatisfiable;
     }
-    assumptions_ = assumptions;
     solve_start_ms_ = now_ms();
     conflicts_at_solve_start_ = stats_.conflicts;
     max_learnts_ = std::max(1000.0, static_cast<double>(num_problem_clauses_) * 0.4);

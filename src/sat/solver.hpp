@@ -78,6 +78,8 @@ struct SolverStats
     std::uint64_t deleted_clauses{0};
 };
 
+class ProofTracer;
+
 /// CDCL SAT solver with incremental assumption-based solving.
 class Solver
 {
@@ -124,6 +126,26 @@ class Solver
 
     /// True once the formula was proven unsatisfiable without assumptions.
     [[nodiscard]] bool in_conflicting_state() const noexcept { return !ok_; }
+
+    /// Attaches (or detaches, with nullptr) a DRAT proof tracer. Every learnt
+    /// clause, every database deletion and — on an assumption-free UNSAT — the
+    /// final empty clause are streamed to it. No tracing work happens when no
+    /// tracer is attached.
+    void set_proof_tracer(ProofTracer* tracer) noexcept { proof_ = tracer; }
+
+    /// After solve() returned unsatisfiable: the subset of the assumptions
+    /// that the refutation depends on (the "unsat core" over assumptions).
+    /// Empty when the formula itself is unsatisfiable regardless of the
+    /// assumptions.
+    [[nodiscard]] const std::vector<Lit>& final_conflict() const noexcept { return conflict_core_; }
+
+    /// Snapshot of the root-level formula as the solver holds it: stored
+    /// problem clauses, top-level units from clause simplification, and any
+    /// clause that simplified to empty (in original form). Every returned
+    /// clause is a logical consequence of the clauses passed to add_clause(),
+    /// so a DRAT refutation checked against this snapshot certifies the
+    /// original formula unsatisfiable. Intended for proof certification.
+    [[nodiscard]] std::vector<std::vector<Lit>> root_clauses() const;
 
   private:
     using CRef = std::uint32_t;
@@ -189,6 +211,7 @@ class Solver
     // conflict analysis
     void analyze(CRef conflict, std::vector<Lit>& out_learnt, int& out_btlevel, std::uint32_t& out_lbd);
     [[nodiscard]] bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+    void analyze_final(Lit failed_assumption);
 
     // branching
     Lit pick_branch_lit();
@@ -221,6 +244,16 @@ class Solver
 
     VarOrderHeap order_heap_;
     std::vector<Lit> assumptions_;
+    std::vector<Lit> conflict_core_;  // failed assumptions of the last UNSAT solve
+
+    // root-formula bookkeeping for proof certification: units produced by
+    // add_clause simplification and clauses that simplified to empty are not
+    // stored in clauses_, so they are recorded here to keep root_clauses()
+    // a faithful (consequence-preserving) snapshot of the input formula
+    std::vector<Lit> root_units_;
+    std::vector<std::vector<Lit>> root_conflict_clauses_;
+
+    ProofTracer* proof_{nullptr};
 
     // temporaries for analyze()
     std::vector<std::uint8_t> seen_;

@@ -6,6 +6,8 @@
 #include "logic/rewriting.hpp"
 #include "logic/tech_mapping.hpp"
 #include "phys/exhaustive.hpp"
+#include "sat/proof.hpp"
+#include "sat/proof_check.hpp"
 #include "sat/solver.hpp"
 #include "testing/random.hpp"
 
@@ -83,15 +85,41 @@ bool has_constant_nodes(const logic::LogicNetwork& network)
 
 }  // namespace
 
-OracleVerdict sat_differential(const sat::Cnf& cnf, unsigned max_bruteforce_vars, SatFault fault)
+OracleVerdict sat_differential(const sat::Cnf& cnf, unsigned max_bruteforce_vars, SatFault fault,
+                               SatOracleStats* stats)
 {
+    SatOracleStats local;
+    SatOracleStats& s = stats != nullptr ? *stats : local;
+
     sat::Solver solver;
+    sat::MemoryProofTracer tracer;
+    solver.set_proof_tracer(&tracer);
     const bool trivially_unsat = !sat::load_into_solver(solver, cnf);
     const auto real_result = trivially_unsat ? sat::Result::unsatisfiable : solver.solve();
     if (real_result == sat::Result::unknown)
     {
         return fail("CDCL solver returned unknown without a budget being set");
     }
+
+    if (real_result == sat::Result::unsatisfiable)
+    {
+        // every UNSAT answer is certified: the proof the solver emitted must
+        // pass the independent backward DRAT checker against the root formula
+        s.unsat = true;
+        sat::DratProof proof = tracer.proof();
+        if (fault == SatFault::drop_proof_lemmas)
+        {
+            proof.steps.clear();
+            proof.steps.push_back({false, {}});  // keep only the final empty clause
+        }
+        const auto check = sat::check_drat_proof(sat::to_cnf(solver.root_clauses()), proof);
+        if (!check.valid)
+        {
+            return fail("UNSAT answer failed DRAT certification: " + check.error);
+        }
+        s.proof_checked = true;
+    }
+
     auto result = real_result;
     if (fault == SatFault::flip_reported_result)
     {
@@ -245,7 +273,21 @@ OracleVerdict physical_design_differential(const logic::LogicNetwork& spec,
         }
     }
 
-    const auto exact = layout::exact_physical_design(mapped, exact_options);
+    // the exact engine certifies every refuted size with a checked DRAT
+    // proof; a proof failure means the solver's UNSAT verdict is untrusted
+    auto certified_options = exact_options;
+    certified_options.certify_unsat = true;
+    layout::ExactPDStats pd_stats;
+    const auto exact = layout::exact_physical_design(mapped, certified_options, &pd_stats);
+    s.proofs_checked = pd_stats.proofs_checked;
+    s.proof_failures = pd_stats.proof_failures;
+    if (s.proof_failures > 0)
+    {
+        std::ostringstream out;
+        out << s.proof_failures << " of " << (s.proofs_checked + s.proof_failures)
+            << " exact-engine UNSAT verdicts failed DRAT certification";
+        return fail(out.str());
+    }
     if (exact.has_value())
     {
         s.exact_ran = true;

@@ -3,8 +3,9 @@
 ///        the flow:
 ///
 ///  1. CDCL solver vs. brute-force model enumeration — SAT answers are
-///     model-checked against every clause, UNSAT answers are refuted or
-///     confirmed by an exhaustive assignment sweep (instances <= 20 vars).
+///     model-checked against every clause, UNSAT answers carry a DRAT proof
+///     certified by the independent backward checker and are additionally
+///     refuted or confirmed by an exhaustive sweep (instances <= 20 vars).
 ///  2. Simulated annealing vs. exhaustive ground states on small canvases
 ///     (the exact-vs-heuristic split of the SiDB simulation literature).
 ///  3. Exact vs. scalable placement & routing — both layouts must pass
@@ -49,16 +50,27 @@ enum class SatFault : std::uint8_t
 {
     none,
     flip_reported_result,  ///< pretend the solver answered SAT<->UNSAT
-    corrupt_model          ///< flip the model value of the first variable
+    corrupt_model,         ///< flip the model value of the first variable
+    drop_proof_lemmas      ///< discard every learnt clause from the DRAT proof
+};
+
+struct SatOracleStats
+{
+    bool unsat{false};          ///< the solver genuinely answered UNSAT
+    bool proof_checked{false};  ///< that answer carried a verified DRAT proof
 };
 
 /// Solves \p cnf with the CDCL engine and cross-checks the answer:
-/// a SAT answer must satisfy every clause; an UNSAT answer is verified by
-/// exhaustively sweeping all 2^n assignments. Instances with more than
-/// \p max_bruteforce_vars variables only get the (always sound) model check.
+/// a SAT answer must satisfy every clause; an UNSAT answer must carry a DRAT
+/// proof that the independent backward checker certifies, and is additionally
+/// refuted or confirmed by an exhaustive assignment sweep when the instance
+/// has at most \p max_bruteforce_vars variables. The drop_proof_lemmas fault
+/// guts the proof down to its final empty clause before checking — rejected
+/// whenever the refutation actually needed a learnt lemma.
 [[nodiscard]] OracleVerdict sat_differential(const sat::Cnf& cnf,
                                              unsigned max_bruteforce_vars = 20,
-                                             SatFault fault = SatFault::none);
+                                             SatFault fault = SatFault::none,
+                                             SatOracleStats* stats = nullptr);
 
 // --- 2. ground states: simanneal vs. exhaustive ----------------------------
 
@@ -94,6 +106,8 @@ struct PdOracleStats
     bool constant_function{false}; ///< mapping folded the spec to a constant — P&R skipped
     unsigned exact_area{0};
     unsigned scalable_area{0};
+    unsigned proofs_checked{0};  ///< exact-engine UNSAT sizes with verified DRAT proofs
+    unsigned proof_failures{0};  ///< UNSAT sizes whose proof did NOT check (always a bug)
 };
 
 /// Maps \p spec onto the Bestagon gate set, runs both P&R engines and

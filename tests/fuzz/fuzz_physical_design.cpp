@@ -40,6 +40,7 @@ TEST(FuzzPhysicalDesign, BothEnginesImplementTheSpecification)
     const auto budget = testkit::fuzz_budget(0x9d0'0001, 8);
     unsigned exact_runs = 0;
     unsigned scalable_runs = 0;
+    unsigned proofs_checked = 0;
     for (std::uint64_t i = 0; i < budget.iterations; ++i)
     {
         testkit::Rng rng{testkit::case_seed(budget.base_seed, i)};
@@ -49,13 +50,19 @@ TEST(FuzzPhysicalDesign, BothEnginesImplementTheSpecification)
             testkit::physical_design_differential(spec, budgeted_exact_options(), &stats);
         ASSERT_TRUE(verdict.ok) << verdict.detail << '\n'
                                 << testkit::reproducer("physical-design", budget.base_seed, i);
+        EXPECT_EQ(stats.proof_failures, 0U)
+            << testkit::reproducer("physical-design", budget.base_seed, i);
         exact_runs += stats.exact_ran ? 1 : 0;
         scalable_runs += stats.scalable_ran ? 1 : 0;
+        proofs_checked += stats.proofs_checked;
     }
     // both engines must actually participate in the differential check
     // (either may decline individual cases: budget expiry / march failure)
     EXPECT_GT(exact_runs, 0U) << "exact engine never completed within its budget";
     EXPECT_GT(scalable_runs, 0U) << "scalable engine declined every generated network";
+    // the ascending-area search refutes smaller sizes before finding a layout;
+    // every such UNSAT verdict must have been DRAT-certified along the way
+    EXPECT_GT(proofs_checked, 0U) << "no refuted size was ever certified";
 }
 
 TEST(FuzzPhysicalDesign, ScalableEngineSurvivesWiderNetworks)

@@ -51,6 +51,71 @@ TEST(DesignRules, DetectsOutputLeavingLayout)
     EXPECT_FALSE(report.clean());
 }
 
+TEST(DesignRules, DetectsDanglingWireInput)
+{
+    // a wire segment whose NW input faces an empty tile: nothing drives it,
+    // so the input-side connectivity check must flag the tile
+    GateLevelLayout layout{2, 3};
+    Occupant wire;
+    wire.type = GateType::buf;
+    wire.in_a = Port::nw;
+    wire.out_a = Port::se;
+    ASSERT_TRUE(layout.add_occupant({0, 1}, wire));
+    Occupant po;
+    po.type = GateType::po;
+    po.in_a = Port::nw;
+    ASSERT_TRUE(layout.add_occupant({1, 2}, po));  // driven by the wire's SE output
+    const auto report = check_design_rules(layout);
+    bool found = false;
+    for (const auto& v : report.violations)
+    {
+        if (v.rule == "connectivity" && v.message.find("no matching driver") != std::string::npos)
+        {
+            found = true;
+            EXPECT_EQ(v.tile, (HexCoord{0, 1}));
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(DesignRules, DetectsInputReadingFromOutsideTheLayout)
+{
+    GateLevelLayout layout{1, 1};
+    Occupant po;
+    po.type = GateType::po;
+    po.in_a = Port::nw;  // row -1 does not exist
+    ASSERT_TRUE(layout.add_occupant({0, 0}, po));
+    const auto report = check_design_rules(layout);
+    bool found = false;
+    for (const auto& v : report.violations)
+    {
+        if (v.rule == "connectivity" &&
+            v.message.find("outside the layout") != std::string::npos)
+        {
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(DesignRules, SingleTileLayoutWithIsolatedPiIsReported)
+{
+    // a 1x1 layout can hold a PI but its output necessarily dangles or
+    // leaves the layout — never silently accepted
+    GateLevelLayout layout{1, 1};
+    Occupant pi;
+    pi.type = GateType::pi;
+    pi.out_a = Port::se;
+    ASSERT_TRUE(layout.add_occupant({0, 0}, pi));
+    EXPECT_FALSE(check_design_rules(layout).clean());
+}
+
+TEST(DesignRules, EmptySingleTileLayoutIsClean)
+{
+    GateLevelLayout layout{1, 1};
+    EXPECT_TRUE(check_design_rules(layout).clean());
+}
+
 TEST(DesignRules, DetectsWrongGatePortUsage)
 {
     GateLevelLayout layout{2, 3};

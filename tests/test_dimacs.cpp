@@ -35,6 +35,102 @@ TEST(Dimacs, MalformedHeaderThrows)
     EXPECT_THROW(static_cast<void>(read_dimacs("p dnf 2 1\n1 0\n")), std::runtime_error);
 }
 
+/// Asserts that parsing \p text throws and the message contains \p expect.
+void expect_parse_error(const std::string& text, const std::string& expect)
+{
+    try
+    {
+        static_cast<void>(read_dimacs(text));
+        FAIL() << "expected a parse error containing '" << expect << "'";
+    }
+    catch (const std::runtime_error& e)
+    {
+        EXPECT_NE(std::string{e.what()}.find(expect), std::string::npos) << e.what();
+    }
+}
+
+TEST(Dimacs, RejectsDuplicateProblemLine)
+{
+    expect_parse_error("p cnf 2 1\np cnf 2 1\n1 0\n", "duplicate problem line");
+}
+
+TEST(Dimacs, RejectsProblemLineAfterClauses)
+{
+    expect_parse_error("1 0\np cnf 2 1\n", "problem line after clause data");
+}
+
+TEST(Dimacs, RejectsTrailingGarbageInProblemLine)
+{
+    expect_parse_error("p cnf 2 1 extra\n1 0\n", "trailing garbage");
+}
+
+TEST(Dimacs, RejectsNegativeCounts)
+{
+    expect_parse_error("p cnf -2 1\n1 0\n", "negative count");
+}
+
+TEST(Dimacs, RejectsNonIntegerLiteral)
+{
+    expect_parse_error("p cnf 2 1\n1 x 0\n", "not an integer");
+}
+
+TEST(Dimacs, RejectsPartiallyNumericLiteral)
+{
+    expect_parse_error("p cnf 2 1\n1 2y 0\n", "trailing garbage");
+}
+
+TEST(Dimacs, RejectsOverflowingLiteral)
+{
+    expect_parse_error("p cnf 2 1\n99999999999999999999 0\n", "not an integer");
+    expect_parse_error("p cnf 2 1\n2000000000 0\n", "out of range");
+}
+
+TEST(Dimacs, RejectsLiteralExceedingDeclaredVariables)
+{
+    expect_parse_error("p cnf 2 1\n1 3 0\n", "exceeds declared");
+}
+
+TEST(Dimacs, RejectsUnterminatedFinalClause)
+{
+    expect_parse_error("p cnf 2 2\n1 2 0\n-1 2\n", "unterminated final clause");
+}
+
+TEST(Dimacs, RejectsMoreClausesThanDeclared)
+{
+    expect_parse_error("p cnf 2 1\n1 0\n2 0\n", "exceed the declared");
+}
+
+TEST(Dimacs, RejectsEmptyInput)
+{
+    expect_parse_error("c only a comment\n", "no problem line");
+}
+
+TEST(Dimacs, HeaderlessClausesGrowTheVariableCount)
+{
+    // headerless DRAT-style input stays accepted: variables grow on demand
+    const auto cnf = read_dimacs("1 -3 0\n2 0\n");
+    EXPECT_EQ(cnf.num_vars, 3);
+    ASSERT_EQ(cnf.clauses.size(), 2U);
+}
+
+TEST(Dimacs, FewerClausesThanDeclaredIsAccepted)
+{
+    // under-declaring is harmless (some generators truncate); only excess
+    // clauses indicate a corrupted header
+    const auto cnf = read_dimacs("p cnf 2 5\n1 2 0\n");
+    EXPECT_EQ(cnf.clauses.size(), 1U);
+}
+
+TEST(Dimacs, ToCnfConvertsSolverLiterals)
+{
+    const std::vector<std::vector<Lit>> clauses{{Lit{0, false}, Lit{2, true}}, {Lit{1, true}}};
+    const auto cnf = to_cnf(clauses);
+    EXPECT_EQ(cnf.num_vars, 3);
+    ASSERT_EQ(cnf.clauses.size(), 2U);
+    EXPECT_EQ(cnf.clauses[0], (std::vector<int>{1, -3}));
+    EXPECT_EQ(cnf.clauses[1], (std::vector<int>{-2}));
+}
+
 TEST(Dimacs, LoadIntoSolverAndSolve)
 {
     const auto cnf = read_dimacs("p cnf 2 2\n1 2 0\n-1 0\n");

@@ -63,6 +63,75 @@ TEST(ExactPD, InfeasibleSizeLimitsReturnNullopt)
     EXPECT_FALSE(stats.message.empty());
 }
 
+/// 2-PI network whose depth constraints pin four gates to one row: at the
+/// minimal height and width <= 3 every aspect ratio is genuinely refuted.
+logic::LogicNetwork congestion_network()
+{
+    logic::LogicNetwork n;
+    const auto a = n.create_pi("a");
+    const auto b = n.create_pi("b");
+    const auto fa = n.create_fanout(a);
+    const auto fb = n.create_fanout(b);
+    const auto fa1 = n.create_fanout(fa);
+    const auto fa2 = n.create_fanout(fa);
+    const auto fb1 = n.create_fanout(fb);
+    const auto fb2 = n.create_fanout(fb);
+    const auto x1 = n.create_xor(fa1, fb1);
+    const auto x2 = n.create_and(fa1, fb2);
+    const auto x3 = n.create_or(fa2, fb1);
+    const auto x4 = n.create_nand(fa2, fb2);
+    const auto y1 = n.create_xor(x1, x2);
+    const auto y2 = n.create_xor(x3, x4);
+    n.create_po(n.create_xor(y1, y2), "f");
+    return n;
+}
+
+TEST(ExactPD, CertifiesEveryUnsatSize)
+{
+    const auto n = congestion_network();
+    ExactPDOptions opt;
+    opt.max_width = 3;
+    opt.max_height = minimum_height(n);
+    opt.certify_unsat = true;
+    ExactPDStats stats;
+    const auto layout = exact_physical_design(n, opt, &stats);
+    EXPECT_FALSE(layout.has_value());
+    EXPECT_FALSE(stats.budget_exhausted);
+    EXPECT_GT(stats.sizes_tried, 0U);
+    EXPECT_EQ(stats.proofs_checked, stats.sizes_tried);  // every decline certified
+    EXPECT_EQ(stats.proof_failures, 0U);
+}
+
+TEST(ExactPD, DiagnosesRefutingConstraintGroups)
+{
+    const auto n = congestion_network();
+    ExactPDOptions opt;
+    opt.max_width = 2;
+    opt.max_height = minimum_height(n);
+    opt.diagnose_infeasibility = true;
+    ExactPDStats stats;
+    const auto layout = exact_physical_design(n, opt, &stats);
+    ASSERT_FALSE(layout.has_value());
+    // four gates pinned to a two-tile row: placement + tile exclusivity
+    // refute the instance; routing and capacity are not needed
+    ASSERT_FALSE(stats.refuting_groups.empty());
+    EXPECT_EQ(stats.refuting_groups,
+              (std::vector<std::string>{"exclusivity", "placement"}));
+}
+
+TEST(ExactPD, NoDiagnosisWhenLayoutExists)
+{
+    const auto mapped = mapped_benchmark("xor2");
+    ExactPDOptions opt;
+    opt.certify_unsat = true;
+    opt.diagnose_infeasibility = true;
+    ExactPDStats stats;
+    const auto layout = exact_physical_design(mapped, opt, &stats);
+    ASSERT_TRUE(layout.has_value());
+    EXPECT_TRUE(stats.refuting_groups.empty());
+    EXPECT_EQ(stats.proof_failures, 0U);
+}
+
 /// Property suite over benchmarks small enough for fast exact solving:
 /// layouts are functionally correct, DRC-clean and respect the documented
 /// aspect-ratio scale of the paper's Table 1.

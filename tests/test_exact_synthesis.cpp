@@ -52,6 +52,33 @@ TEST(ExactSynthesis, Xor3NeedsTwoGates)
     EXPECT_EQ(count_two_input_gates(*net), 2U);
 }
 
+TEST(ExactSynthesis, DeclineIsCertifiedMinimality)
+{
+    // XOR3 needs two gates: capping at one must yield a *certified* decline —
+    // the r = 1 refutation carries a checked DRAT proof, no budget involved
+    const auto f = TruthTable::nth_var(3, 0) ^ TruthTable::nth_var(3, 1) ^ TruthTable::nth_var(3, 2);
+    SynthesisStats stats;
+    const auto net = exact_synthesize(f, 1, 50000, &stats, /*certify_unsat=*/true);
+    EXPECT_FALSE(net.has_value());
+    EXPECT_EQ(stats.unsat_steps, 1U);
+    EXPECT_EQ(stats.unknown_steps, 0U);
+    EXPECT_EQ(stats.proofs_checked, 1U);
+    EXPECT_EQ(stats.proof_failures, 0U);
+    EXPECT_TRUE(stats.decline_is_certified());
+}
+
+TEST(ExactSynthesis, BudgetExhaustionIsNotCertified)
+{
+    // a 1-conflict budget cannot refute anything non-trivial: the decline
+    // must be flagged as unknown, not as a minimality proof
+    const auto f = TruthTable::nth_var(3, 0) ^ TruthTable::nth_var(3, 1) ^ TruthTable::nth_var(3, 2);
+    SynthesisStats stats;
+    const auto net = exact_synthesize(f, 1, 1, &stats, /*certify_unsat=*/true);
+    EXPECT_FALSE(net.has_value());
+    EXPECT_GT(stats.unknown_steps, 0U);
+    EXPECT_FALSE(stats.decline_is_certified());
+}
+
 TEST(ExactSynthesis, MajorityNeedsFourGates)
 {
     TruthTable f{3};

@@ -1,0 +1,100 @@
+/// \file proof_check.cpp
+/// \brief Command-line DRAT proof checker.
+///
+/// Usage: proof_check <formula.cnf> <proof.drat> [--all-lemmas]
+///
+/// Validates that the DRAT proof refutes the DIMACS CNF formula. Exit code 0
+/// means the proof is valid (s VERIFIED), 1 means it is not (s NOT VERIFIED),
+/// 2 means the inputs could not be read.
+
+#include "sat/dimacs.hpp"
+#include "sat/proof.hpp"
+#include "sat/proof_check.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace
+{
+
+int usage(const char* argv0)
+{
+    std::cerr << "usage: " << argv0 << " <formula.cnf> <proof.drat> [--all-lemmas]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    using namespace bestagon::sat;
+
+    std::string cnf_path, drat_path;
+    auto mode = ProofCheckMode::refutation;
+    for (int i = 1; i < argc; ++i)
+    {
+        if (std::strcmp(argv[i], "--all-lemmas") == 0)
+        {
+            mode = ProofCheckMode::all_lemmas;
+        }
+        else if (cnf_path.empty())
+        {
+            cnf_path = argv[i];
+        }
+        else if (drat_path.empty())
+        {
+            drat_path = argv[i];
+        }
+        else
+        {
+            return usage(argv[0]);
+        }
+    }
+    if (cnf_path.empty() || drat_path.empty())
+    {
+        return usage(argv[0]);
+    }
+
+    Cnf cnf;
+    DratProof proof;
+    try
+    {
+        std::ifstream cnf_in{cnf_path};
+        if (!cnf_in)
+        {
+            std::cerr << "error: cannot open " << cnf_path << '\n';
+            return 2;
+        }
+        cnf = read_dimacs(cnf_in);
+
+        std::ifstream drat_in{drat_path};
+        if (!drat_in)
+        {
+            std::cerr << "error: cannot open " << drat_path << '\n';
+            return 2;
+        }
+        proof = read_drat(drat_in);
+    }
+    catch (const std::exception& e)
+    {
+        std::cerr << "error: " << e.what() << '\n';
+        return 2;
+    }
+
+    const auto res = check_drat_proof(cnf, proof, mode);
+    std::cout << "c formula: " << cnf.num_vars << " vars, " << cnf.clauses.size() << " clauses\n"
+              << "c proof:   " << proof.steps.size() << " steps, " << res.num_lemmas
+              << " lemmas\n"
+              << "c checked: " << res.checked_lemmas << " lemmas (" << res.core_lemmas
+              << " core), " << res.core_formula_clauses << " core formula clauses, "
+              << res.propagations << " propagations\n";
+    if (res.valid)
+    {
+        std::cout << "s VERIFIED\n";
+        return 0;
+    }
+    std::cout << "c " << res.error << '\n' << "s NOT VERIFIED\n";
+    return 1;
+}
