@@ -3,6 +3,7 @@
 ///        Sweeps (eps_r, lambda_TF) and prints an ASCII map of where the
 ///        vertical-wire tile stays operational.
 
+#include "core/run_control.hpp"
 #include "layout/bestagon_library.hpp"
 #include "phys/operational_domain.hpp"
 
@@ -12,6 +13,11 @@ using namespace bestagon;
 
 int main()
 {
+    // first Ctrl-C stops the sweep cooperatively (the partial map is still
+    // printed, un-swept points as '?'); a second Ctrl-C hard-exits
+    core::RunBudget run;
+    run.token = core::install_sigint_stop();
+
     const auto& lib = layout::BestagonLibrary::instance();
     const auto* wire = lib.lookup(logic::GateType::buf, layout::Port::nw, std::nullopt,
                                   layout::Port::sw, std::nullopt);
@@ -32,7 +38,8 @@ int main()
     std::printf("x: eps_r in [%.1f, %.1f], y: lambda_TF in [%.1f, %.1f] nm\n\n", sweep.x_min,
                 sweep.x_max, sweep.y_min, sweep.y_max);
 
-    const auto domain = phys::compute_operational_domain(wire->design, base, sweep);
+    const auto domain =
+        phys::compute_operational_domain(wire->design, base, sweep, phys::Engine::exhaustive, run);
 
     for (unsigned j = sweep.y_steps; j-- > 0;)
     {
@@ -41,9 +48,13 @@ int main()
         for (unsigned i = 0; i < sweep.x_steps; ++i)
         {
             const auto& p = domain.points[j * sweep.x_steps + i];
-            std::printf("%c ", p.operational ? '#' : '.');
+            std::printf("%c ", !p.evaluated ? '?' : (p.operational ? '#' : '.'));
         }
         std::printf("\n");
+    }
+    if (domain.cancelled)
+    {
+        std::printf("\ninterrupted — partial map ('?' = not evaluated)\n");
     }
     std::printf("             ");
     for (unsigned i = 0; i < sweep.x_steps; ++i)

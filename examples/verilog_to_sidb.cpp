@@ -4,6 +4,7 @@
 ///        design files (.sqd for SiQAD, .svg for inspection).
 
 #include "core/design_flow.hpp"
+#include "core/run_control.hpp"
 #include "io/artifacts.hpp"
 #include "io/sqd_writer.hpp"
 #include "io/svg_writer.hpp"
@@ -49,23 +50,44 @@ int main(int argc, char** argv)
     }
     const std::string out_dir = io::artifact_dir(argc > 2 ? argv[2] : "");
 
-    const auto result = core::run_design_flow_verilog(text);
+    // first Ctrl-C winds the flow down cooperatively (partial artifacts and
+    // the diagnostics table are still emitted); a second Ctrl-C hard-exits
+    core::FlowOptions options;
+    options.stop = core::install_sigint_stop();
+
+    const auto result = core::run_design_flow_verilog(text, options);
+
+    // emit whatever artifacts the (possibly cut) run produced
+    if (result.sidb.has_value())
+    {
+        std::ofstream sqd{io::artifact_path("design.sqd", out_dir)};
+        io::write_sqd(sqd, *result.sidb, name);
+        std::ofstream dots{io::artifact_path("design_dots.svg", out_dir)};
+        io::write_svg(dots, *result.sidb);
+    }
+    if (result.layout.has_value())
+    {
+        std::ofstream svg{io::artifact_path("design.svg", out_dir)};
+        io::write_svg(svg, *result.layout);
+    }
+
     if (!result.success())
     {
-        std::printf("flow failed for %s\n", name.c_str());
+        std::printf("flow %s for %s\n",
+                    core::sigint_received() ? "interrupted — partial results" : "failed",
+                    name.c_str());
+        std::printf("%s", result.diagnostics.table().c_str());
+        if (result.sidb.has_value() || result.layout.has_value())
+        {
+            std::printf("partial artifacts written to %s/\n", out_dir.c_str());
+        }
         return 1;
     }
 
     std::printf("%s: %u x %u tiles, %zu SiDBs, verified %s\n", name.c_str(),
                 result.layout->width(), result.layout->height(), result.sidb->num_sidbs(),
                 result.equivalence == layout::EquivalenceResult::equivalent ? "equivalent" : "NO");
-
-    std::ofstream sqd{io::artifact_path("design.sqd", out_dir)};
-    io::write_sqd(sqd, *result.sidb, name);
-    std::ofstream svg{io::artifact_path("design.svg", out_dir)};
-    io::write_svg(svg, *result.layout);
-    std::ofstream dots{io::artifact_path("design_dots.svg", out_dir)};
-    io::write_svg(dots, *result.sidb);
+    std::printf("%s", result.diagnostics.table().c_str());
     std::printf("wrote %s/design.sqd (open in SiQAD), design.svg, design_dots.svg\n",
                 out_dir.c_str());
     return 0;

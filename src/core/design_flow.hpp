@@ -17,15 +17,18 @@
 
 #pragma once
 
+#include "core/run_control.hpp"
 #include "layout/apply_gate_library.hpp"
 #include "layout/design_rules.hpp"
 #include "layout/equivalence_checking.hpp"
 #include "layout/exact_physical_design.hpp"
 #include "layout/gate_level_layout.hpp"
+#include "layout/scalable_physical_design.hpp"
 #include "layout/sidb_layout.hpp"
 #include "layout/supertile.hpp"
 #include "logic/network.hpp"
 #include "phys/model.hpp"
+#include "phys/operational.hpp"
 
 #include <optional>
 #include <string>
@@ -58,6 +61,35 @@ struct FlowOptions
     /// fans the independent tile checks out across workers (0 = hardware
     /// concurrency, 1 = serial); results are thread-count invariant.
     phys::SimulationParameters sim_params{};
+
+    /// Ground-state engine for step (7b). `simanneal` is stochastic; a tile
+    /// that fails its check is retried up to validation_retries times with a
+    /// deterministically rotated anneal seed (retries are recorded in the
+    /// stage diagnostics). `exhaustive` never retries.
+    phys::Engine validation_engine{phys::Engine::exhaustive};
+    unsigned validation_retries{0};
+
+    // ------------------------------------------------------------------
+    // run control: with all fields at their defaults the flow behaves
+    // bit-identically to an uncontrolled run
+    // ------------------------------------------------------------------
+
+    /// Cooperative cancellation for the whole flow (e.g. from
+    /// install_sigint_stop()). Engines wind down at the next poll point; the
+    /// flow still returns a well-formed FlowResult with diagnostics.
+    StopToken stop{};
+
+    /// Global wall-clock deadline for the whole flow in ms (< 0 = unlimited).
+    /// On expiry the flow degrades instead of dying: exact P&R falls back to
+    /// the scalable engine, equivalence reports `unknown`, step (7b) is
+    /// skipped-with-record.
+    std::int64_t deadline_ms{-1};
+
+    /// Per-stage wall-clock budgets in ms (< 0 = unlimited); each clips the
+    /// global deadline for its stage. The exact P&R stage budget lives in
+    /// exact_options.time_budget_ms.
+    std::int64_t equivalence_budget_ms{-1};
+    std::int64_t validation_budget_ms{-1};
 };
 
 /// Outcome of re-validating one library tile in step (7b).
@@ -67,6 +99,8 @@ struct GateValidation
     bool operational{false};
     std::uint64_t patterns_correct{0};
     std::uint64_t patterns_total{0};
+    unsigned retries{0};               ///< seed-rotation retries spent on this tile
+    bool evaluated{false};             ///< false when the check was skipped/cut by a stop
 };
 
 /// All artifacts and statistics produced by one flow run.
@@ -82,8 +116,13 @@ struct FlowResult
     layout::DrcReport drc;                      ///< design-rule report
     layout::ApplyStats apply_stats;
     layout::ExactPDStats pd_stats;
+    layout::ScalablePDStats scalable_stats;     ///< when the scalable engine ran
     std::string engine_used;                    ///< "exact" or "scalable"
     std::vector<GateValidation> gate_validation;  ///< step (7b), if enabled
+
+    /// Per-stage account of the run: what completed, degraded, retried or
+    /// was cut (see run_control.hpp). Stages appear in execution order.
+    FlowDiagnostics diagnostics;
 
     [[nodiscard]] bool success() const noexcept
     {
@@ -91,12 +130,22 @@ struct FlowResult
     }
 };
 
-/// Runs the full flow on an in-memory specification network.
+/// Runs the full flow on an in-memory specification network. Never throws on
+/// run-control events: a cancelled or timed-out run returns a well-formed
+/// (partial) FlowResult whose diagnostics name the cut stage.
 [[nodiscard]] FlowResult run_design_flow(const logic::LogicNetwork& specification,
                                          const FlowOptions& options = {});
 
-/// Runs the full flow on a gate-level Verilog string.
+/// Runs the full flow on a gate-level Verilog string. Malformed input does
+/// not throw; it yields a FlowResult whose diagnostics carry a failed
+/// "parse" stage.
 [[nodiscard]] FlowResult run_design_flow_verilog(const std::string& verilog,
                                                  const FlowOptions& options = {});
+
+/// Runs the full flow on an ISCAS-style BENCH string. Malformed input does
+/// not throw; it yields a FlowResult whose diagnostics carry a failed
+/// "parse" stage.
+[[nodiscard]] FlowResult run_design_flow_bench(const std::string& bench,
+                                               const FlowOptions& options = {});
 
 }  // namespace bestagon::core

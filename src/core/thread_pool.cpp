@@ -188,4 +188,24 @@ void parallel_for(unsigned num_threads, std::size_t count,
     ThreadPool::shared().run(count, body, resolved);
 }
 
+void parallel_for(unsigned num_threads, std::size_t count, const RunBudget& run,
+                  const std::function<void(std::size_t)>& body)
+{
+    if (!run.limited())
+    {
+        // unlimited budgets take the exact same code path as the plain
+        // overload — no per-item polling, bit-identical scheduling
+        parallel_for(num_threads, count, body);
+        return;
+    }
+    const std::function<void(std::size_t)> guarded = [&run, &body](std::size_t i) {
+        if (run.stopped())
+        {
+            return;  // drain remaining indices without running their bodies
+        }
+        body(i);
+    };
+    parallel_for(num_threads, count, guarded);
+}
+
 }  // namespace bestagon::core

@@ -22,6 +22,8 @@
 
 #pragma once
 
+#include "core/run_control.hpp"
+
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -94,6 +96,15 @@ class ThreadPool
 /// called from inside a pool worker (nested parallelism). The 1-thread path
 /// is byte-for-byte the plain serial loop.
 void parallel_for(unsigned num_threads, std::size_t count,
+                  const std::function<void(std::size_t)>& body);
+
+/// Run-controlled variant: every participating thread polls \p run between
+/// work items and stops pulling new indices once the budget is stopped
+/// (items already started still finish — bodies are never interrupted
+/// mid-update). Callers must therefore tolerate unprocessed slots after a
+/// stop. With an unlimited budget this forwards to the plain overload and
+/// is bit-identical to it.
+void parallel_for(unsigned num_threads, std::size_t count, const RunBudget& run,
                   const std::function<void(std::size_t)>& body);
 
 }  // namespace bestagon::core

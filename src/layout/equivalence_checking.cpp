@@ -88,14 +88,20 @@ std::vector<Lit> encode_network(Solver& solver, const LogicNetwork& net, const s
 }  // namespace
 
 EquivalenceResult check_equivalence(const LogicNetwork& spec, const LogicNetwork& impl,
-                                    EquivalenceStats* stats)
+                                    EquivalenceStats* stats, const core::RunBudget& run)
 {
     if (spec.num_pis() != impl.num_pis() || spec.num_pos() != impl.num_pos())
     {
         return EquivalenceResult::not_equivalent;
     }
+    if (run.stopped())
+    {
+        return EquivalenceResult::unknown;
+    }
 
     Solver solver;
+    solver.set_stop_token(run.token);
+    solver.set_deadline(run.deadline);
     std::vector<Lit> pis;
     pis.reserve(spec.num_pis());
     for (unsigned i = 0; i < spec.num_pis(); ++i)
@@ -141,7 +147,7 @@ EquivalenceResult check_equivalence(const LogicNetwork& spec, const LogicNetwork
 }
 
 EquivalenceResult check_layout_equivalence(const LogicNetwork& spec, const GateLevelLayout& layout,
-                                           EquivalenceStats* stats)
+                                           EquivalenceStats* stats, const core::RunBudget& run)
 {
     // Note: the layout was synthesized from a mapped network whose PI/PO node
     // ids the occupants carry, but functionally it must match ANY equivalent
@@ -155,7 +161,7 @@ EquivalenceResult check_layout_equivalence(const LogicNetwork& spec, const GateL
     try
     {
         const auto extracted = layout.extract_network(spec);
-        return check_equivalence(spec, extracted, stats);
+        return check_equivalence(spec, extracted, stats, run);
     }
     catch (const std::exception&)
     {

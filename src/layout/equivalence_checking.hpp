@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include "core/run_control.hpp"
 #include "layout/gate_level_layout.hpp"
 #include "logic/network.hpp"
 
@@ -28,15 +29,19 @@ struct EquivalenceStats
     std::uint64_t counterexample{0};  ///< PI assignment if not equivalent
 };
 
-/// Checks two networks for functional equivalence via a SAT miter.
+/// Checks two networks for functional equivalence via a SAT miter. A limited
+/// \p run budget makes the solver yield `unknown` on cancellation or
+/// deadline expiry (the check is sound but may be cut short).
 [[nodiscard]] EquivalenceResult check_equivalence(const logic::LogicNetwork& spec,
                                                   const logic::LogicNetwork& impl,
-                                                  EquivalenceStats* stats = nullptr);
+                                                  EquivalenceStats* stats = nullptr,
+                                                  const core::RunBudget& run = {});
 
 /// Convenience: extracts the layout's network and miters it against the
 /// specification it was synthesized from.
 [[nodiscard]] EquivalenceResult check_layout_equivalence(const logic::LogicNetwork& spec,
                                                          const GateLevelLayout& layout,
-                                                         EquivalenceStats* stats = nullptr);
+                                                         EquivalenceStats* stats = nullptr,
+                                                         const core::RunBudget& run = {});
 
 }  // namespace bestagon::layout

@@ -103,7 +103,8 @@ class SizeEncoding
     /// checker and the outcome recorded in \p stats.
     std::optional<GateLevelLayout> solve(std::int64_t conflict_budget, std::int64_t time_budget_ms,
                                          std::uint64_t* conflicts, bool* budget_hit,
-                                         bool certify = false, ExactPDStats* stats = nullptr)
+                                         bool certify = false, ExactPDStats* stats = nullptr,
+                                         const core::RunBudget& run = {})
     {
         if (trivially_unsat_)
         {
@@ -116,6 +117,8 @@ class SizeEncoding
         }
         solver_.set_conflict_budget(conflict_budget);
         solver_.set_time_budget_ms(time_budget_ms);
+        solver_.set_stop_token(run.token);
+        solver_.set_deadline(run.deadline);
         const auto result = solver_.solve();
         solver_.set_proof_tracer(nullptr);
         if (conflicts != nullptr)
@@ -646,8 +649,19 @@ std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& 
     const auto start = now_ms();
     for (const auto& [w, h] : sizes)
     {
+        if (options.run.token.stop_requested())
+        {
+            if (stats != nullptr)
+            {
+                stats->cancelled = true;
+                stats->message = "cancelled";
+            }
+            return std::nullopt;
+        }
         const auto elapsed = now_ms() - start;
-        const auto remaining = options.time_budget_ms - elapsed;
+        // the run deadline clips the engine's own wall-clock budget
+        const auto remaining =
+            std::min(options.time_budget_ms - elapsed, options.run.deadline.remaining_ms());
         if (remaining <= 0)
         {
             if (stats != nullptr)
@@ -665,7 +679,7 @@ std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& 
         bool budget_hit = false;
         std::uint64_t conflicts = 0;
         auto layout = encoding.solve(options.conflicts_per_size, remaining, &conflicts, &budget_hit,
-                                     options.certify_unsat, stats);
+                                     options.certify_unsat, stats, options.run);
         if (stats != nullptr)
         {
             stats->total_conflicts += conflicts;
@@ -673,10 +687,19 @@ std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& 
             {
                 stats->budget_exhausted = true;
             }
+            if (options.run.token.stop_requested())
+            {
+                stats->cancelled = true;
+                stats->message = "cancelled";
+            }
         }
         if (layout.has_value())
         {
             return layout;
+        }
+        if (options.run.token.stop_requested())
+        {
+            return std::nullopt;
         }
     }
     if (stats != nullptr && stats->message.empty())

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include "core/run_control.hpp"
 #include "layout/gate_level_layout.hpp"
 #include "logic/network.hpp"
 
@@ -29,6 +30,11 @@ struct ExactPDOptions
     std::int64_t conflicts_per_size{300000};  ///< SAT conflict budget per aspect ratio
     std::int64_t time_budget_ms{120000};      ///< overall wall-clock budget
 
+    /// Cooperative cancellation / deadline; checked between aspect ratios and
+    /// inside the SAT search. The deadline composes with (further clips)
+    /// time_budget_ms. Default: unlimited.
+    core::RunBudget run{};
+
     /// Emit a DRAT proof for every aspect ratio the solver refutes and check
     /// it with the independent proof checker; results land in ExactPDStats.
     bool certify_unsat{false};
@@ -44,6 +50,7 @@ struct ExactPDStats
     unsigned sizes_tried{0};
     std::uint64_t total_conflicts{0};
     bool budget_exhausted{false};
+    bool cancelled{false};  ///< the run's StopToken requested a stop
     std::string message;
 
     unsigned proofs_checked{0};   ///< UNSAT verdicts certified by the checker

@@ -36,10 +36,19 @@ struct Signal
 /// Two signals may share a tile (a crossing / parallel-wires tile); sharing
 /// pairs are forced apart on the next step, which realizes wire crossings
 /// without any global routing.
+/// Thrown (internally) when the run budget stops the march; the wrapper
+/// translates it into a cancelled ScalablePDStats + nullopt.
+struct StopRequested
+{
+};
+
 class Marcher
 {
   public:
-    explicit Marcher(const LogicNetwork& network) : network_{network} {}
+    explicit Marcher(const LogicNetwork& network, const core::RunBudget& run)
+        : network_{network}, run_{run}
+    {
+    }
 
     GateLevelLayout run()
     {
@@ -59,6 +68,7 @@ class Marcher
 
         for (const auto id : network_.topological_order())
         {
+            check_stop();
             const auto type = network_.type_of(id);
             switch (type)
             {
@@ -84,6 +94,7 @@ class Marcher
         unsigned po_guard = 0;
         while (has_shared_pair())
         {
+            check_stop();
             if (++po_guard > 1000)
             {
                 throw std::logic_error{"scalable_physical_design: de-sharing diverged"};
@@ -398,6 +409,7 @@ class Marcher
         unsigned guard = 0;
         while (has_shared_pair())
         {
+            check_stop();
             if (++guard > 1000)
             {
                 throw std::logic_error{"scalable_physical_design: de-sharing diverged"};
@@ -444,6 +456,7 @@ class Marcher
         unsigned guard = 0;
         while (std::abs(signals_[ia].col - signals_[ib].col) != 1 || has_shared_pair())
         {
+            check_stop();
             if (++guard > 10000)
             {
                 throw std::logic_error{"scalable_physical_design: convergence diverged"};
@@ -516,7 +529,18 @@ class Marcher
         return layout;
     }
 
+    /// Polled at every loop head; bodies between polls only mutate the
+    /// marcher's own state, so a stop never leaves shared data half-updated.
+    void check_stop() const
+    {
+        if (run_.stopped())
+        {
+            throw StopRequested{};
+        }
+    }
+
     const LogicNetwork& network_;
+    core::RunBudget run_;
     std::vector<ProtoOcc> occupants_;
     std::vector<Signal> signals_;
     int row_{0};
@@ -524,23 +548,38 @@ class Marcher
 
 }  // namespace
 
-std::optional<GateLevelLayout> scalable_physical_design(const logic::LogicNetwork& network)
+std::optional<GateLevelLayout> scalable_physical_design(const logic::LogicNetwork& network,
+                                                        const core::RunBudget& run,
+                                                        ScalablePDStats* stats)
 {
     std::string why;
     if (!network.is_bestagon_compliant(&why))
     {
         throw std::invalid_argument{"scalable_physical_design: network not Bestagon-compliant: " + why};
     }
-    Marcher marcher{network};
+    Marcher marcher{network, run};
     try
     {
         return marcher.run();
     }
-    catch (const std::logic_error&)
+    catch (const StopRequested&)
+    {
+        if (stats != nullptr)
+        {
+            stats->cancelled = true;
+            stats->message = run.token.stop_requested() ? "cancelled" : "deadline expired";
+        }
+        return std::nullopt;
+    }
+    catch (const std::logic_error& e)
     {
         // the constructive march can fail on densely reconvergent networks
         // (crossing splits displace neighbors indefinitely); callers fall
         // back to exact physical design in that case
+        if (stats != nullptr)
+        {
+            stats->message = e.what();
+        }
         return std::nullopt;
     }
 }

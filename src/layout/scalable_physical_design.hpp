@@ -12,18 +12,30 @@
 
 #pragma once
 
+#include "core/run_control.hpp"
 #include "layout/gate_level_layout.hpp"
 #include "logic/network.hpp"
 
 #include <optional>
+#include <string>
 
 namespace bestagon::layout
 {
 
+/// Outcome details of a scalable physical-design run.
+struct ScalablePDStats
+{
+    bool cancelled{false};  ///< the run budget stopped the march
+    std::string message;    ///< why no layout was produced (empty on success)
+};
+
 /// Runs the heuristic placer on a Bestagon-compliant mapped network.
 /// Returns std::nullopt when the constructive march cannot realize the
 /// network (densely reconvergent structures whose crossing splits displace
-/// neighbors indefinitely); callers fall back to exact physical design.
-[[nodiscard]] std::optional<GateLevelLayout> scalable_physical_design(const logic::LogicNetwork& network);
+/// neighbors indefinitely) or when \p run stops it; callers fall back to
+/// exact physical design in the former case.
+[[nodiscard]] std::optional<GateLevelLayout>
+scalable_physical_design(const logic::LogicNetwork& network, const core::RunBudget& run = {},
+                         ScalablePDStats* stats = nullptr);
 
 }  // namespace bestagon::layout

@@ -23,10 +23,24 @@ struct SearchState
     ChargeConfig best_config;
     std::uint64_t degeneracy;
     double tolerance;
+    const core::RunBudget* run;
+    std::uint64_t nodes;
+    bool stopped;
 };
 
 void recurse(SearchState& s, std::size_t index)
 {
+    // sparse budget poll: unwinding early keeps the best-so-far (always a
+    // physically valid configuration) intact
+    if (s.stopped)
+    {
+        return;
+    }
+    if (s.run->limited() && (++s.nodes & 4095U) == 0 && s.run->stopped())
+    {
+        s.stopped = true;
+        return;
+    }
     if (index == s.n)
     {
         if (s.partial_f <= s.best_f + s.tolerance)
@@ -104,7 +118,8 @@ void recurse(SearchState& s, std::size_t index)
 
 }  // namespace
 
-GroundStateResult exhaustive_ground_state(const SiDBSystem& system, double degeneracy_tolerance)
+GroundStateResult exhaustive_ground_state(const SiDBSystem& system, double degeneracy_tolerance,
+                                          const core::RunBudget& run)
 {
     const std::size_t n = system.size();
     SearchState s{};
@@ -117,6 +132,9 @@ GroundStateResult exhaustive_ground_state(const SiDBSystem& system, double degen
     s.best_f = std::numeric_limits<double>::infinity();
     s.degeneracy = 0;
     s.tolerance = degeneracy_tolerance;
+    s.run = &run;
+    s.nodes = 0;
+    s.stopped = false;
 
     // seed with a quenched all-negative start for a good initial bound
     ChargeConfig seed(n, 1);
@@ -135,7 +153,8 @@ GroundStateResult exhaustive_ground_state(const SiDBSystem& system, double degen
     result.grand_potential = s.best_f;
     result.electrostatic = s.best_config.empty() ? 0.0 : system.electrostatic_energy(s.best_config);
     result.degeneracy = std::max<std::uint64_t>(1, s.degeneracy);
-    result.complete = true;
+    result.complete = !s.stopped;
+    result.cancelled = s.stopped;
     return result;
 }
 

@@ -4,6 +4,7 @@
 
 #pragma once
 
+#include "core/run_control.hpp"
 #include "phys/model.hpp"
 
 namespace bestagon::phys
@@ -20,7 +21,12 @@ namespace bestagon::phys
 /// Practical up to roughly 40 sites for gate-sized structures.
 /// The returned result also counts degenerate near-ground configurations
 /// (within \p degeneracy_tolerance of the minimum).
+///
+/// A limited \p run budget is polled sparsely during the search; on stop the
+/// best configuration found so far is returned with complete = false and
+/// cancelled = true. An unlimited budget leaves the search bit-identical.
 [[nodiscard]] GroundStateResult exhaustive_ground_state(const SiDBSystem& system,
-                                                        double degeneracy_tolerance = 1e-6);
+                                                        double degeneracy_tolerance = 1e-6,
+                                                        const core::RunBudget& run = {});
 
 }  // namespace bestagon::phys

@@ -17,12 +17,13 @@ namespace
 /// Score of a candidate design: number of correct patterns, with partial
 /// credit for defined-but-wrong outputs over undefined ones. The patterns
 /// are independent simulations and are scored concurrently.
-unsigned score_design(const GateDesign& design, const SimulationParameters& params)
+unsigned score_design(const GateDesign& design, const SimulationParameters& params,
+                      const core::RunBudget& run)
 {
     const std::uint64_t patterns = 1ULL << design.num_inputs();
     std::vector<unsigned> pattern_scores(patterns, 0);
-    core::parallel_for(params.num_threads, patterns, [&](std::size_t p) {
-        const auto r = simulate_gate_pattern(design, p, params, Engine::exhaustive);
+    core::parallel_for(params.num_threads, patterns, run, [&](std::size_t p) {
+        const auto r = simulate_gate_pattern(design, p, params, Engine::exhaustive, run);
         if (r.correct)
         {
             pattern_scores[p] = 2;
@@ -62,6 +63,10 @@ std::optional<DesignerResult> run_search(const GateDesign& skeleton,
 
     for (unsigned iter = 0; iter < options.max_iterations; ++iter)
     {
+        if (options.run.stopped())
+        {
+            return std::nullopt;
+        }
         std::vector<SiDBSite> canvas;
         if (iter % 4 != 0 && !best_canvas.empty())
         {
@@ -103,7 +108,12 @@ std::optional<DesignerResult> run_search(const GateDesign& skeleton,
         }
 
         const auto design = make_design(canvas);
-        const unsigned score = score_design(design, params);
+        const unsigned score = score_design(design, params, options.run);
+        if (options.run.stopped())
+        {
+            // a score cut short by a stop is not comparable; discard it
+            return std::nullopt;
+        }
         if (score > best_score)
         {
             best_score = score;
@@ -158,24 +168,38 @@ std::optional<DesignerResult> design_gate(const GateDesign& skeleton,
         return std::nullopt;
     }
 
-    // independent restarts: restart 0 keeps options.seed verbatim (the exact
-    // legacy trajectory); the winner is the lowest restart index that
-    // succeeds, so the result is thread-count invariant. No cross-restart
-    // cancellation — aborting a low-index restart because a high-index one
-    // succeeded first would make the outcome scheduling-dependent.
+    // independent restarts: restart 0 keeps the attempt's base seed verbatim
+    // (the exact legacy trajectory on attempt 0); the winner is the lowest
+    // restart index that succeeds, so the result is thread-count invariant.
+    // No cross-restart cancellation — aborting a low-index restart because a
+    // high-index one succeeded first would make the outcome
+    // scheduling-dependent. Failed attempts retry (bounded by max_retries)
+    // with a deterministically rotated base seed; the salt keeps the retry
+    // streams disjoint from the derive_seed(seed, r) restart streams.
+    constexpr std::uint64_t retry_salt = 0x52e7'52e7'52e7'52e7ULL;
     const unsigned restarts = std::max(1U, options.num_restarts);
-    std::vector<std::optional<DesignerResult>> outcomes(restarts);
-    core::parallel_for(options.num_threads, restarts, [&](std::size_t r) {
-        const std::uint64_t seed = r == 0 ? options.seed : core::derive_seed(options.seed, r);
-        outcomes[r] = run_search(skeleton, usable, options, params, seed);
-    });
-
-    for (unsigned r = 0; r < restarts; ++r)
+    for (unsigned attempt = 0; attempt <= options.max_retries; ++attempt)
     {
-        if (outcomes[r].has_value())
+        if (options.run.stopped())
         {
-            outcomes[r]->restart_used = r;
-            return outcomes[r];
+            return std::nullopt;
+        }
+        const std::uint64_t base_seed =
+            attempt == 0 ? options.seed : core::derive_seed(options.seed ^ retry_salt, attempt);
+        std::vector<std::optional<DesignerResult>> outcomes(restarts);
+        core::parallel_for(options.num_threads, restarts, options.run, [&](std::size_t r) {
+            const std::uint64_t seed = r == 0 ? base_seed : core::derive_seed(base_seed, r);
+            outcomes[r] = run_search(skeleton, usable, options, params, seed);
+        });
+
+        for (unsigned r = 0; r < restarts; ++r)
+        {
+            if (outcomes[r].has_value())
+            {
+                outcomes[r]->restart_used = r;
+                outcomes[r]->retries_used = attempt;
+                return outcomes[r];
+            }
         }
     }
     return std::nullopt;

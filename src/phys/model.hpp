@@ -41,6 +41,12 @@ struct SimulationParameters
     /// identical for every value — parallel work is index-addressed and
     /// seeds are derived deterministically per work item.
     unsigned num_threads{0};
+
+    /// Base seed of the simulated-annealing engine when it is selected for
+    /// ground-state searches. The default matches SimAnnealParameters::seed,
+    /// so results are unchanged unless a caller rotates it (e.g. a bounded
+    /// validation retry with a derive_seed-rotated stream).
+    std::uint64_t anneal_seed{0x5eed};
 };
 
 /// Screened Coulomb interaction energy of two negative charges at distance
@@ -106,6 +112,7 @@ struct GroundStateResult
     double electrostatic{0.0};     ///< electrostatic part, in eV
     std::uint64_t degeneracy{1};   ///< number of configs within tolerance (exhaustive only)
     bool complete{false};          ///< true if the search space was covered exhaustively
+    bool cancelled{false};         ///< the search was cut by a run budget (result is partial)
 };
 
 }  // namespace bestagon::phys

@@ -45,7 +45,8 @@ PairState read_pair(const BDLPair& pair, const std::vector<SiDBSite>& sites, con
 }
 
 PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t pattern,
-                                    const SimulationParameters& params, Engine engine)
+                                    const SimulationParameters& params, Engine engine,
+                                    const core::RunBudget& run)
 {
     PatternResult result;
     result.pattern = pattern;
@@ -54,14 +55,16 @@ PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t patt
     const SiDBSystem system{result.sites, params};
     if (engine == Engine::exhaustive)
     {
-        result.ground_state = exhaustive_ground_state(system);
+        result.ground_state = exhaustive_ground_state(system, 1e-6, run);
     }
     else
     {
         SimAnnealParameters annealing;
         annealing.num_threads = params.num_threads;  // 1 stays fully serial
-        result.ground_state = simulated_annealing(system, annealing);
+        annealing.seed = params.anneal_seed;
+        result.ground_state = simulated_annealing(system, annealing, run);
     }
+    result.evaluated = true;
 
     result.correct = true;
     for (std::size_t o = 0; o < design.output_pairs.size(); ++o)
@@ -79,7 +82,7 @@ PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t patt
 }
 
 OperationalResult check_operational(const GateDesign& design, const SimulationParameters& params,
-                                    Engine engine)
+                                    Engine engine, const core::RunBudget& run)
 {
     if (design.num_inputs() > max_gate_inputs)
     {
@@ -92,11 +95,17 @@ OperationalResult check_operational(const GateDesign& design, const SimulationPa
     result.patterns_total = 1ULL << design.num_inputs();
 
     // the per-pattern simulations are independent; fan them out and write
-    // each result into its pattern-indexed slot
+    // each result into its pattern-indexed slot (patterns skipped after a
+    // stop keep their default slot with evaluated == false)
     result.details.resize(result.patterns_total);
-    core::parallel_for(params.num_threads, result.patterns_total, [&](std::size_t pattern) {
-        result.details[pattern] = simulate_gate_pattern(design, pattern, params, engine);
+    for (std::uint64_t p = 0; p < result.patterns_total; ++p)
+    {
+        result.details[p].pattern = p;  // keep indices on skipped slots, too
+    }
+    core::parallel_for(params.num_threads, result.patterns_total, run, [&](std::size_t pattern) {
+        result.details[pattern] = simulate_gate_pattern(design, pattern, params, engine, run);
     });
+    result.cancelled = run.stopped();
 
     for (const auto& pr : result.details)
     {

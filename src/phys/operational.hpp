@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include "core/run_control.hpp"
 #include "logic/truth_table.hpp"
 #include "phys/exhaustive.hpp"
 #include "phys/model.hpp"
@@ -86,12 +87,14 @@ struct PatternResult
     std::vector<SiDBSite> sites;          ///< simulated instance sites
     std::vector<PairState> output_states; ///< readout per output
     bool correct{false};
+    bool evaluated{false};  ///< false when the pattern was skipped by a stop
 };
 
 /// Simulates one input pattern of \p design and reads the outputs.
 [[nodiscard]] PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t pattern,
                                                   const SimulationParameters& params,
-                                                  Engine engine = Engine::exhaustive);
+                                                  Engine engine = Engine::exhaustive,
+                                                  const core::RunBudget& run = {});
 
 /// Result of a full operational check.
 struct OperationalResult
@@ -100,6 +103,9 @@ struct OperationalResult
     std::uint64_t patterns_correct{0};
     std::uint64_t patterns_total{0};
     std::vector<PatternResult> details;
+    bool cancelled{false};  ///< the check was cut by a run budget; unevaluated
+                            ///< patterns have evaluated == false and count as
+                            ///< incorrect, so `operational` stays conservative
 };
 
 /// Largest input arity the pattern enumeration supports (the pattern count
@@ -113,6 +119,7 @@ inline constexpr unsigned max_gate_inputs = 63;
 /// max_gate_inputs inputs.
 [[nodiscard]] OperationalResult check_operational(const GateDesign& design,
                                                   const SimulationParameters& params,
-                                                  Engine engine = Engine::exhaustive);
+                                                  Engine engine = Engine::exhaustive,
+                                                  const core::RunBudget& run = {});
 
 }  // namespace bestagon::phys

@@ -23,7 +23,8 @@ double OperationalDomain::coverage() const
 }
 
 OperationalDomain compute_operational_domain(const GateDesign& design, const SimulationParameters& base,
-                                             const DomainSweep& sweep, Engine engine)
+                                             const DomainSweep& sweep, Engine engine,
+                                             const core::RunBudget& run)
 {
     OperationalDomain domain;
     domain.sweep = sweep;
@@ -43,7 +44,13 @@ OperationalDomain compute_operational_domain(const GateDesign& design, const Sim
     // concurrently, each writing its own row-major slot
     const std::size_t total = static_cast<std::size_t>(sweep.x_steps) * sweep.y_steps;
     domain.points.resize(total);
-    core::parallel_for(base.num_threads, total, [&](std::size_t index) {
+    for (std::size_t index = 0; index < total; ++index)
+    {
+        // pre-fill coordinates so points skipped after a stop still plot
+        domain.points[index].x = x_at(static_cast<unsigned>(index % sweep.x_steps));
+        domain.points[index].y = y_at(static_cast<unsigned>(index / sweep.x_steps));
+    }
+    core::parallel_for(base.num_threads, total, run, [&](std::size_t index) {
         const unsigned i = static_cast<unsigned>(index % sweep.x_steps);
         const unsigned j = static_cast<unsigned>(index / sweep.x_steps);
         SimulationParameters params = base;
@@ -60,11 +67,13 @@ OperationalDomain compute_operational_domain(const GateDesign& design, const Sim
             params.mu_minus = point.x;
             params.epsilon_r = point.y;
         }
-        const auto result = check_operational(design, params, engine);
-        point.operational = result.operational;
+        const auto result = check_operational(design, params, engine, run);
+        point.operational = result.operational && !result.cancelled;
         point.patterns_correct = result.patterns_correct;
+        point.evaluated = !result.cancelled;
         domain.points[index] = point;
     });
+    domain.cancelled = run.stopped();
     return domain;
 }
 

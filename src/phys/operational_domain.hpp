@@ -35,12 +35,14 @@ struct DomainPoint
     double y{0.0};
     bool operational{false};
     std::uint64_t patterns_correct{0};
+    bool evaluated{false};  ///< false when the point was skipped by a stop
 };
 
 struct OperationalDomain
 {
     DomainSweep sweep;
     std::vector<DomainPoint> points;  ///< row-major, y outer
+    bool cancelled{false};            ///< the sweep was cut by a run budget
 
     /// Fraction of grid points that are operational.
     [[nodiscard]] double coverage() const;
@@ -54,6 +56,7 @@ struct OperationalDomain
 [[nodiscard]] OperationalDomain compute_operational_domain(const GateDesign& design,
                                                            const SimulationParameters& base,
                                                            const DomainSweep& sweep,
-                                                           Engine engine = Engine::exhaustive);
+                                                           Engine engine = Engine::exhaustive,
+                                                           const core::RunBudget& run = {});
 
 }  // namespace bestagon::phys

@@ -18,7 +18,7 @@ namespace
 /// quenched (hence physically valid) configuration and its grand potential.
 std::pair<ChargeConfig, double> anneal_instance(const SiDBSystem& system,
                                                 const SimAnnealParameters& params,
-                                                std::uint64_t seed)
+                                                std::uint64_t seed, const core::RunBudget& run)
 {
     const std::size_t n = system.size();
     std::mt19937_64 rng{seed};
@@ -35,6 +35,12 @@ std::pair<ChargeConfig, double> anneal_instance(const SiDBSystem& system,
 
     for (unsigned step = 0; step < params.steps_per_instance; ++step)
     {
+        // poll the budget sparsely; bailing out early only shortens the
+        // schedule — the quench below still guarantees a valid configuration
+        if (run.limited() && (step & 63U) == 0 && run.stopped())
+        {
+            break;
+        }
         // move: flip a random site, or hop a random electron
         const bool do_hop = (rng() & 3U) == 0;  // 25% hops
         double delta = 0.0;
@@ -82,7 +88,8 @@ std::pair<ChargeConfig, double> anneal_instance(const SiDBSystem& system,
 
 }  // namespace
 
-GroundStateResult simulated_annealing(const SiDBSystem& system, const SimAnnealParameters& params)
+GroundStateResult simulated_annealing(const SiDBSystem& system, const SimAnnealParameters& params,
+                                      const core::RunBudget& run)
 {
     const std::size_t n = system.size();
     GroundStateResult best;
@@ -98,11 +105,14 @@ GroundStateResult simulated_annealing(const SiDBSystem& system, const SimAnnealP
 
     // Every instance is seeded from (params.seed, instance) and runs on its
     // own stream, so the fan-out is embarrassingly parallel and the outcome
-    // does not depend on the thread count.
-    std::vector<std::pair<ChargeConfig, double>> instances(params.num_instances);
-    core::parallel_for(params.num_threads, params.num_instances, [&](std::size_t i) {
-        instances[i] = anneal_instance(system, params, core::derive_seed(params.seed, i));
+    // does not depend on the thread count. Slots are pre-filled with +inf so
+    // instances skipped after a stop can never win the reduction below.
+    std::vector<std::pair<ChargeConfig, double>> instances(
+        params.num_instances, {ChargeConfig{}, std::numeric_limits<double>::infinity()});
+    core::parallel_for(params.num_threads, params.num_instances, run, [&](std::size_t i) {
+        instances[i] = anneal_instance(system, params, core::derive_seed(params.seed, i), run);
     });
+    best.cancelled = run.stopped();
 
     // serial reduction in instance order (strict '<' keeps the lowest index
     // among ties, matching the legacy serial loop)

@@ -5,6 +5,7 @@
 
 #pragma once
 
+#include "core/run_control.hpp"
 #include "phys/model.hpp"
 
 #include <cstdint>
@@ -33,7 +34,14 @@ struct SimAnnealParameters
 /// the best physically valid configuration found (complete = false). With
 /// num_instances == 0 the result is well-defined and empty: no config,
 /// grand_potential = +inf, electrostatic = 0.
+///
+/// A limited \p run budget is polled between instances and every 64 steps
+/// within an instance; on stop, running instances are quenched (so every
+/// contributed configuration stays physically valid), remaining instances
+/// are skipped, and the result carries cancelled = true. With an unlimited
+/// budget the result is bit-identical to the unbudgeted call.
 [[nodiscard]] GroundStateResult simulated_annealing(const SiDBSystem& system,
-                                                    const SimAnnealParameters& params = {});
+                                                    const SimAnnealParameters& params = {},
+                                                    const core::RunBudget& run = {});
 
 }  // namespace bestagon::phys

@@ -611,14 +611,34 @@ std::int64_t Solver::luby(std::int64_t i)
 
 bool Solver::budget_exhausted() const
 {
+    if (stop_token_.stop_requested())
+    {
+        return true;
+    }
     if (conflict_budget_ >= 0 &&
         static_cast<std::int64_t>(stats_.conflicts - conflicts_at_solve_start_) >= conflict_budget_)
     {
         return true;
     }
-    if (time_budget_ms_ >= 0 && (stats_.conflicts % 256 == 0) && now_ms() - solve_start_ms_ >= time_budget_ms_)
+    // Wall-clock checks are polled on a call-count stride rather than a
+    // conflict-count one: this function runs roughly once per decision, so
+    // propagation-heavy stretches with few conflicts still hit the clock.
+    if (time_budget_ms_ >= 0 || !deadline_.unlimited())
     {
-        return true;
+        if (--time_check_countdown_ <= 0)
+        {
+            if ((time_budget_ms_ >= 0 && now_ms() - solve_start_ms_ >= time_budget_ms_) ||
+                deadline_.expired())
+            {
+                // keep the countdown expired: both clocks are monotone, so
+                // every later call re-checks and confirms the exhaustion
+                // (resetting the stride here would let the confirming call in
+                // solve() skip the clock and resume the search)
+                time_check_countdown_ = 0;
+                return true;
+            }
+            time_check_countdown_ = time_check_stride_;
+        }
     }
     return false;
 }
@@ -750,6 +770,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions)
         return Result::unsatisfiable;
     }
     solve_start_ms_ = now_ms();
+    time_check_countdown_ = 0;  // poll the clock on the first budget check
     conflicts_at_solve_start_ = stats_.conflicts;
     max_learnts_ = std::max(1000.0, static_cast<double>(num_problem_clauses_) * 0.4);
 

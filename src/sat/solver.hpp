@@ -10,6 +10,8 @@
 
 #pragma once
 
+#include "core/run_control.hpp"
+
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -121,6 +123,24 @@ class Solver
     /// Wall-clock budget in milliseconds for the next solve() call
     /// (< 0 disables). Exceeding it yields Result::unknown.
     void set_time_budget_ms(std::int64_t ms) noexcept { time_budget_ms_ = ms; }
+
+    /// Cooperative cancellation: the search polls the token alongside its
+    /// budgets and yields Result::unknown once a stop is requested. A
+    /// default-constructed token clears it.
+    void set_stop_token(core::StopToken token) noexcept { stop_token_ = std::move(token); }
+
+    /// Absolute steady-clock deadline for solve(); composes with (is checked
+    /// in addition to) the relative time budget. An unlimited Deadline
+    /// clears it.
+    void set_deadline(core::Deadline deadline) noexcept { deadline_ = deadline; }
+
+    /// Number of budget checks (≈ decisions) between wall-clock polls.
+    /// Smaller strides honor tight time budgets more promptly at the cost of
+    /// more clock reads; values < 1 are clamped to 1. Defaults to 256.
+    void set_time_check_stride(std::int64_t stride) noexcept
+    {
+        time_check_stride_ = stride < 1 ? 1 : stride;
+    }
 
     [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
 
@@ -267,6 +287,10 @@ class Solver
     double cla_decay_{0.999};
     std::int64_t conflict_budget_{-1};
     std::int64_t time_budget_ms_{-1};
+    core::StopToken stop_token_{};
+    core::Deadline deadline_{};
+    std::int64_t time_check_stride_{256};
+    mutable std::int64_t time_check_countdown_{0};
     std::int64_t solve_start_ms_{0};
     std::uint64_t conflicts_at_solve_start_{0};
     double max_learnts_{0.0};

@@ -11,6 +11,7 @@
 #include "sat/solver.hpp"
 #include "testing/random.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
@@ -357,6 +358,147 @@ OracleVerdict frontend_differential(const logic::LogicNetwork& input, std::uint6
             }
         }
     }
+    return {};
+}
+
+OracleVerdict run_control_differential(const logic::LogicNetwork& spec,
+                                       const core::FlowOptions& options,
+                                       std::int64_t timing_slack_ms, RunControlOracleStats* stats,
+                                       RunControlFault fault)
+{
+    const auto start = std::chrono::steady_clock::now();
+    core::FlowResult result;
+    try
+    {
+        result = core::run_design_flow(spec, options);
+    }
+    catch (const std::exception& e)
+    {
+        return fail(std::string{"flow threw under run control: "} + e.what());
+    }
+    catch (...)
+    {
+        return fail("flow threw a non-std exception under run control");
+    }
+    const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+    if (fault == RunControlFault::drop_diagnostics)
+    {
+        result.diagnostics.stages.clear();
+    }
+    else if (fault == RunControlFault::forge_success)
+    {
+        result.equivalence = layout::EquivalenceResult::equivalent;
+        result.layout.reset();
+    }
+
+    const auto* cut = result.diagnostics.first_cut();
+    if (stats != nullptr)
+    {
+        stats->wall_ms = wall_ms;
+        stats->interrupted = result.diagnostics.interrupted();
+        stats->produced_layout = result.layout.has_value();
+        stats->produced_sidb = result.sidb.has_value();
+        stats->first_cut = cut != nullptr ? cut->stage : std::string{};
+        stats->engine_used = result.engine_used;
+    }
+
+    // a controlled run must return within a small multiple of its deadline;
+    // the slack absorbs the (token-only) scalable fallback and CI noise
+    if (options.deadline_ms >= 0 && wall_ms > 2 * options.deadline_ms + timing_slack_ms)
+    {
+        std::ostringstream out;
+        out << "flow ignored its deadline: " << wall_ms << " ms elapsed against a "
+            << options.deadline_ms << " ms deadline (+" << timing_slack_ms << " ms slack)";
+        return fail(out.str());
+    }
+
+    // diagnostics are never empty: to_xag reports even on immediate cuts
+    if (result.diagnostics.stages.empty())
+    {
+        return fail("flow recorded no stage diagnostics at all");
+    }
+    for (const auto& stage : result.diagnostics.stages)
+    {
+        if (stage.wall_ms < 0)
+        {
+            return fail("stage '" + stage.stage + "' reports negative wall-clock time");
+        }
+    }
+
+    // artifacts <-> stage-status consistency
+    const auto* pd = result.diagnostics.find("physical_design");
+    if (result.layout.has_value())
+    {
+        if (pd == nullptr)
+        {
+            return fail("a layout exists but no physical_design stage was recorded");
+        }
+        if (pd->status != core::StageStatus::completed && pd->status != core::StageStatus::degraded)
+        {
+            return fail(std::string{"a layout exists but physical_design reports '"} +
+                        core::to_string(pd->status) + "'");
+        }
+        if (pd->status == core::StageStatus::degraded && result.engine_used != "scalable")
+        {
+            return fail("physical_design degraded but engine_used is '" + result.engine_used +
+                        "' instead of 'scalable'");
+        }
+    }
+    else if (pd != nullptr &&
+             (pd->status == core::StageStatus::degraded ||
+              (pd->status == core::StageStatus::completed && pd->detail.empty())))
+    {
+        // completed-without-layout is legal only for a declined exact-only
+        // run, which always carries an explanatory detail
+        return fail(std::string{"physical_design reports '"} + core::to_string(pd->status) +
+                    "' but no layout exists");
+    }
+    if ((result.supertiles.has_value() || result.sidb.has_value()) && !result.layout.has_value())
+    {
+        return fail("derived artifacts exist without a gate-level layout");
+    }
+    if (result.equivalence == layout::EquivalenceResult::equivalent)
+    {
+        if (!result.layout.has_value())
+        {
+            return fail("equivalent verdict without a layout");
+        }
+        const auto* eq = result.diagnostics.find("equivalence");
+        if (eq == nullptr || eq->status != core::StageStatus::completed)
+        {
+            return fail("equivalent verdict but the equivalence stage did not complete");
+        }
+    }
+
+    // a cut run must name the stage that was cut
+    if (result.diagnostics.interrupted() && cut == nullptr)
+    {
+        return fail("diagnostics report an interruption but first_cut() names no stage");
+    }
+    if (options.stop.stop_requested() && !result.diagnostics.all_completed() && cut == nullptr &&
+        result.diagnostics.find("gate_validation") == nullptr)
+    {
+        return fail("stop was requested and the run is incomplete, yet no stage reports a cut");
+    }
+
+    // step (7b) bookkeeping: unevaluated tiles only under a cut/skipped stage
+    bool any_unevaluated = false;
+    for (const auto& v : result.gate_validation)
+    {
+        any_unevaluated = any_unevaluated || !v.evaluated;
+    }
+    if (any_unevaluated)
+    {
+        const auto* val = result.diagnostics.find("gate_validation");
+        if (val == nullptr || val->status == core::StageStatus::completed)
+        {
+            return fail("unevaluated tiles exist but gate_validation claims completion");
+        }
+    }
+
     return {};
 }
 

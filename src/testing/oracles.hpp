@@ -12,6 +12,10 @@
 ///     SAT-based equivalence checking against the specification network.
 ///  4. Rewriting + technology mapping vs. the input network via random
 ///     simulation (64 patterns by default; exhaustive when <= 16 PIs).
+///  5. Run control: a flow run under fault-injected cancellation / deadlines
+///     must never throw, return within a small multiple of its budget, and
+///     produce a FlowResult whose artifacts and per-stage diagnostics are
+///     mutually consistent.
 ///
 /// Each oracle takes an optional *fault* that corrupts one engine's answer
 /// before cross-checking. Faults exist purely so tests can prove the oracle
@@ -20,6 +24,7 @@
 
 #pragma once
 
+#include "core/design_flow.hpp"
 #include "logic/network.hpp"
 #include "layout/exact_physical_design.hpp"
 #include "phys/model.hpp"
@@ -135,6 +140,46 @@ enum class FrontendFault : std::uint8_t
 [[nodiscard]] OracleVerdict frontend_differential(const logic::LogicNetwork& input,
                                                   std::uint64_t seed, unsigned num_patterns = 64,
                                                   FrontendFault fault = FrontendFault::none);
+
+// --- 5. run control: cancellation, deadlines, degradation -------------------
+
+enum class RunControlFault : std::uint8_t
+{
+    none,
+    drop_diagnostics,  ///< models a flow that forgets to account for its stages
+    forge_success      ///< models an `equivalent` verdict without a layout
+};
+
+struct RunControlOracleStats
+{
+    std::int64_t wall_ms{0};   ///< measured wall-clock of the whole flow call
+    bool interrupted{false};   ///< a stage reported timed_out or cancelled
+    bool produced_layout{false};
+    bool produced_sidb{false};
+    std::string first_cut;     ///< name of the first cut stage (empty when none)
+    std::string engine_used;
+};
+
+/// Runs the full design flow on \p spec under whatever run-control event
+/// \p options injects (a pre-tripped or concurrently tripped stop token, a
+/// global deadline, per-stage budgets) and checks the invariants every
+/// controlled run must satisfy:
+///
+///  - the flow never throws, whatever is cut when;
+///  - diagnostics are never empty and artifacts match the stage statuses
+///    (a layout implies a completed/degraded physical_design stage, a cut
+///    physical_design stage implies no layout, every derived artifact
+///    implies its prerequisite, `equivalent` implies a completed check);
+///  - a run that was cut names the cut stage via first_cut();
+///  - with a global deadline of D ms the call returns within
+///    2*D + \p timing_slack_ms (the slack absorbs the token-only scalable
+///    fallback and scheduler noise on loaded CI machines);
+///  - step (7b) bookkeeping: unevaluated tiles are only ever reported by a
+///    cut or skipped gate_validation stage.
+[[nodiscard]] OracleVerdict run_control_differential(
+    const logic::LogicNetwork& spec, const core::FlowOptions& options,
+    std::int64_t timing_slack_ms = 2000, RunControlOracleStats* stats = nullptr,
+    RunControlFault fault = RunControlFault::none);
 
 /// Structural copy of \p network with the driver of PO \p po_index routed
 /// through a fresh inverter — the standard "seeded mutation" used to prove

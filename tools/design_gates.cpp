@@ -2,11 +2,16 @@
 /// \brief Offline gate-design runner — the tool that produced the canvas
 ///        coordinates frozen in src/layout/bestagon_library.cpp.
 ///
-/// Usage: design_gates <gate> [seed] [iterations] [restarts] [threads]
+/// Usage: design_gates <gate> [seed] [iterations] [restarts] [threads] [retries]
 ///   gate in {or, and, nor, nand, xor, xnor, inv, inv_diag, fanout, ha}
 ///   restarts: independent search restarts (default 1; restart 0 reproduces
 ///             the single-restart trajectory bit-for-bit)
 ///   threads:  0 = hardware concurrency (default), 1 = serial
+///   retries:  extra full-search attempts with a rotated base seed when all
+///             restarts fail (default 0)
+///
+/// Ctrl-C stops the search cooperatively at the next poll point; a second
+/// Ctrl-C hard-exits.
 ///
 /// For each gate it builds the standard-tile skeleton (port pairs, wires,
 /// drivers, output perturbers, target function), then runs the stochastic
@@ -20,6 +25,7 @@
 /// polarization-flipping dots near the output chain — the mechanism the
 /// designer discovered for the straight inverter.
 
+#include "core/run_control.hpp"
 #include "layout/bestagon_library.hpp"
 #include "phys/gate_designer.hpp"
 
@@ -105,7 +111,7 @@ int main(int argc, char** argv)
     if (argc < 2)
     {
         std::printf("usage: design_gates <or|and|nor|nand|xor|xnor|inv|inv_diag|fanout|ha> "
-                    "[seed] [iterations] [restarts] [threads]\n");
+                    "[seed] [iterations] [restarts] [threads] [retries]\n");
         return 2;
     }
     const std::string gate = argv[1];
@@ -113,6 +119,7 @@ int main(int argc, char** argv)
     const unsigned iterations = argc > 3 ? static_cast<unsigned>(std::atoi(argv[3])) : 20000;
     const unsigned restarts = argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1;
     const unsigned threads = argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 0;
+    const unsigned retries = argc > 6 ? static_cast<unsigned>(std::atoi(argv[6])) : 0;
 
     phys::SimulationParameters params;  // library calibration point
     params.num_threads = threads;
@@ -126,6 +133,8 @@ int main(int argc, char** argv)
     options.max_canvas_dots = 6;
     options.num_restarts = restarts;
     options.num_threads = threads;
+    options.max_retries = retries;
+    options.run.token = core::install_sigint_stop();
 
     if (gate == "or" || gate == "and" || gate == "xor")
     {
@@ -233,12 +242,19 @@ int main(int argc, char** argv)
     const auto result = phys::design_gate(d, candidates, options, params);
     if (!result.has_value())
     {
-        std::printf("GATE %s seed=%u FAILED after %u iterations x %u restarts\n", gate.c_str(),
-                    seed, iterations, restarts);
+        if (core::sigint_received())
+        {
+            std::printf("GATE %s seed=%u INTERRUPTED (no design found before the stop)\n",
+                        gate.c_str(), seed);
+            return 130;
+        }
+        std::printf("GATE %s seed=%u FAILED after %u iterations x %u restarts x %u attempt(s)\n",
+                    gate.c_str(), seed, iterations, restarts, retries + 1);
         return 1;
     }
-    std::printf("GATE %s seed=%u OK after %u iterations (restart %u); canvas:", gate.c_str(), seed,
-                result->iterations_used, result->restart_used);
+    std::printf("GATE %s seed=%u OK after %u iterations (restart %u, retry %u); canvas:",
+                gate.c_str(), seed, result->iterations_used, result->restart_used,
+                result->retries_used);
     for (const auto& s : result->canvas)
     {
         std::printf(" {%d, %d, %d},", s.n, s.m, s.l);
