@@ -1,5 +1,7 @@
 #include "phys/exhaustive.hpp"
 
+#include "phys/charge_state.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -16,8 +18,8 @@ struct SearchState
     const SiDBSystem* system;
     double mu;
     std::size_t n;
-    ChargeConfig config;              // current partial assignment (prefix assigned)
-    std::vector<double> local_v;      // v_i from assigned negative charges
+    ChargeState kernel;               // shared incremental charge-state kernel:
+                                      // prefix assignment + local-potential cache
     double partial_f;                 // F of assigned prefix
     double best_f;
     ChargeConfig best_config;
@@ -26,6 +28,8 @@ struct SearchState
     const core::RunBudget* run;
     std::uint64_t nodes;
     bool stopped;
+
+    explicit SearchState(const SiDBSystem& sys) : kernel{sys} {}
 };
 
 void recurse(SearchState& s, std::size_t index)
@@ -45,12 +49,14 @@ void recurse(SearchState& s, std::size_t index)
     {
         if (s.partial_f <= s.best_f + s.tolerance)
         {
-            if (s.system->physically_valid(s.config))
+            // leaf validity over the kernel's cached potentials: O(n^2)
+            // instead of the naive evaluator's O(n^3)
+            if (s.kernel.physically_valid())
             {
                 if (s.partial_f < s.best_f - s.tolerance)
                 {
                     s.best_f = s.partial_f;
-                    s.best_config = s.config;
+                    s.best_config = s.kernel.config();
                     s.degeneracy = 1;
                 }
                 else
@@ -62,11 +68,12 @@ void recurse(SearchState& s, std::size_t index)
         return;
     }
 
-    // optimistic completion bound over unassigned sites
+    // optimistic completion bound over unassigned sites (monotone: cached
+    // v_i only counts assigned negative charges, and v_i can only grow)
     double bound = s.partial_f;
     for (std::size_t i = index; i < s.n; ++i)
     {
-        bound += std::min(0.0, s.mu + s.local_v[i]);
+        bound += std::min(0.0, s.mu + s.kernel.local_potential(i));
     }
     if (bound > s.best_f + s.tolerance)
     {
@@ -77,21 +84,14 @@ void recurse(SearchState& s, std::size_t index)
     {
         // prune: an already-negative site that violates mu + v <= 0 against the
         // *partial* potential can never recover (v only grows)
-        const double delta = s.mu + s.local_v[index];
-        s.config[index] = 1;
+        const double delta = s.mu + s.kernel.local_potential(index);
+        s.kernel.commit_flip(index);  // neutral -> negative, O(n) row update
         s.partial_f += delta;
-        for (std::size_t j = 0; j < s.n; ++j)
-        {
-            if (j != index)
-            {
-                s.local_v[j] += s.system->potential(index, j);
-            }
-        }
         // check partial population stability of assigned negative sites
         bool viable = true;
         for (std::size_t j = 0; j <= index; ++j)
         {
-            if (s.config[j] != 0 && s.mu + s.local_v[j] > 1e-12)
+            if (s.kernel.charge(j) != 0 && s.mu + s.kernel.local_potential(j) > 1e-12)
             {
                 viable = false;
                 break;
@@ -101,15 +101,8 @@ void recurse(SearchState& s, std::size_t index)
         {
             recurse(s, index + 1);
         }
-        for (std::size_t j = 0; j < s.n; ++j)
-        {
-            if (j != index)
-            {
-                s.local_v[j] -= s.system->potential(index, j);
-            }
-        }
+        s.kernel.commit_flip(index);  // unwind: replays the exact subtractions
         s.partial_f -= delta;
-        s.config[index] = 0;
     }
 
     // branch: neutral
@@ -122,12 +115,10 @@ GroundStateResult exhaustive_ground_state(const SiDBSystem& system, double degen
                                           const core::RunBudget& run)
 {
     const std::size_t n = system.size();
-    SearchState s{};
+    SearchState s{system};
     s.system = &system;
     s.mu = system.parameters().mu_minus;
     s.n = n;
-    s.config.assign(n, 0);
-    s.local_v.assign(n, 0.0);
     s.partial_f = 0.0;
     s.best_f = std::numeric_limits<double>::infinity();
     s.degeneracy = 0;
@@ -156,6 +147,11 @@ GroundStateResult exhaustive_ground_state(const SiDBSystem& system, double degen
     result.complete = !s.stopped;
     result.cancelled = s.stopped;
     return result;
+}
+
+GroundStateResult exhaustive_ground_state(const SiDBSystem& system, const core::RunBudget& run)
+{
+    return exhaustive_ground_state(system, system.parameters().energy_tolerance, run);
 }
 
 }  // namespace bestagon::phys

@@ -22,11 +22,22 @@ namespace bestagon::phys
 /// The returned result also counts degenerate near-ground configurations
 /// (within \p degeneracy_tolerance of the minimum).
 ///
+/// The search runs on the shared incremental charge-state kernel
+/// (charge_state.hpp): branching commits O(n) row updates to the cached
+/// local potentials, prune/bound tests are O(1) cache reads, and leaf
+/// validity checks cost O(n^2) instead of the naive O(n^3).
+///
 /// A limited \p run budget is polled sparsely during the search; on stop the
 /// best configuration found so far is returned with complete = false and
 /// cancelled = true. An unlimited budget leaves the search bit-identical.
 [[nodiscard]] GroundStateResult exhaustive_ground_state(const SiDBSystem& system,
-                                                        double degeneracy_tolerance = 1e-6,
+                                                        double degeneracy_tolerance,
+                                                        const core::RunBudget& run = {});
+
+/// Overload reading the degeneracy window from the system's parameters
+/// (SimulationParameters::energy_tolerance) — the default everywhere since
+/// the tolerance was hoisted out of the call sites.
+[[nodiscard]] GroundStateResult exhaustive_ground_state(const SiDBSystem& system,
                                                         const core::RunBudget& run = {});
 
 }  // namespace bestagon::phys

@@ -16,14 +16,17 @@ namespace
 
 /// Score of a candidate design: number of correct patterns, with partial
 /// credit for defined-but-wrong outputs over undefined ones. The patterns
-/// are independent simulations and are scored concurrently.
+/// are independent simulations and are scored concurrently against one
+/// shared pattern-invariant potential cache (the fixed block of V_ij is
+/// evaluated once per candidate, not once per pattern).
 unsigned score_design(const GateDesign& design, const SimulationParameters& params,
                       const core::RunBudget& run)
 {
     const std::uint64_t patterns = 1ULL << design.num_inputs();
+    const GateInstanceCache cache{design, params};
     std::vector<unsigned> pattern_scores(patterns, 0);
     core::parallel_for(params.num_threads, patterns, run, [&](std::size_t p) {
-        const auto r = simulate_gate_pattern(design, p, params, Engine::exhaustive, run);
+        const auto r = simulate_gate_pattern(cache, p, Engine::exhaustive, run);
         if (r.correct)
         {
             pattern_scores[p] = 2;

@@ -1,17 +1,13 @@
 #include "phys/model.hpp"
 
+#include "phys/charge_state.hpp"
+
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 namespace bestagon::phys
 {
-
-namespace
-{
-/// Numerical tolerance shared by stability checks and quenching so that a
-/// quenched configuration is always physically valid.
-constexpr double stability_tolerance = 1e-9;
-}  // namespace
 
 double screened_coulomb(double r_nm, const SimulationParameters& params)
 {
@@ -33,6 +29,33 @@ SiDBSystem::SiDBSystem(std::vector<SiDBSite> sites, const SimulationParameters& 
             potentials_[j * n + i] = v;
         }
     }
+}
+
+SiDBSystem SiDBSystem::from_potentials(std::vector<SiDBSite> sites,
+                                       const SimulationParameters& params,
+                                       std::vector<double> potentials)
+{
+    assert(potentials.size() == sites.size() * sites.size());
+    SiDBSystem system;
+    system.sites_ = std::move(sites);
+    system.params_ = params;
+    system.potentials_ = std::move(potentials);
+#ifndef NDEBUG
+    // spot-check the caller's assembly against the evaluating constructor
+    const std::size_t n = system.sites_.size();
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        assert(system.potentials_[i * n + i] == 0.0);
+        const std::size_t j = (i + 1) % n;
+        if (j != i)
+        {
+            assert(system.potentials_[i * n + j] ==
+                   screened_coulomb(distance_nm(system.sites_[i], system.sites_[j]),
+                                    system.params_));
+        }
+    }
+#endif
+    return system;
 }
 
 double SiDBSystem::electrostatic_energy(const ChargeConfig& config) const
@@ -81,90 +104,25 @@ double SiDBSystem::local_potential(const ChargeConfig& config, std::size_t i) co
 
 bool SiDBSystem::population_stable(const ChargeConfig& config) const
 {
-    for (std::size_t i = 0; i < sites_.size(); ++i)
-    {
-        const double level = params_.mu_minus + local_potential(config, i);
-        if (config[i] != 0 && level > stability_tolerance)
-        {
-            return false;  // negative site whose transition level is above E_F
-        }
-        if (config[i] == 0 && level < -stability_tolerance)
-        {
-            return false;  // neutral site that would rather hold an electron
-        }
-    }
-    return true;
+    return ChargeState{*this, config}.population_stable();
 }
 
 bool SiDBSystem::configuration_stable(const ChargeConfig& config) const
 {
-    for (std::size_t i = 0; i < sites_.size(); ++i)
-    {
-        if (config[i] == 0)
-        {
-            continue;
-        }
-        const double vi = local_potential(config, i);
-        for (std::size_t j = 0; j < sites_.size(); ++j)
-        {
-            if (config[j] != 0 || j == i)
-            {
-                continue;
-            }
-            // hop i -> j: delta E = v_j - v_i - V_ij
-            const double delta = local_potential(config, j) - vi - potential(i, j);
-            if (delta < -stability_tolerance)
-            {
-                return false;
-            }
-        }
-    }
-    return true;
+    return ChargeState{*this, config}.configuration_stable();
+}
+
+bool SiDBSystem::physically_valid(const ChargeConfig& config) const
+{
+    const ChargeState state{*this, config};
+    return state.population_stable() && state.configuration_stable();
 }
 
 void SiDBSystem::quench(ChargeConfig& config) const
 {
-    const std::size_t n = sites_.size();
-    bool changed = true;
-    while (changed)
-    {
-        changed = false;
-        // single flips along the steepest descent of F
-        for (std::size_t i = 0; i < n; ++i)
-        {
-            const double v = local_potential(config, i);
-            const double delta = config[i] == 0 ? (params_.mu_minus + v) : -(params_.mu_minus + v);
-            if (delta < -stability_tolerance)
-            {
-                config[i] ^= 1;
-                changed = true;
-            }
-        }
-        // single hops
-        for (std::size_t i = 0; i < n; ++i)
-        {
-            if (config[i] == 0)
-            {
-                continue;
-            }
-            for (std::size_t j = 0; j < n; ++j)
-            {
-                if (config[j] != 0 || j == i)
-                {
-                    continue;
-                }
-                const double delta =
-                    local_potential(config, j) - local_potential(config, i) - potential(i, j);
-                if (delta < -stability_tolerance)
-                {
-                    config[i] = 0;
-                    config[j] = 1;
-                    changed = true;
-                    break;
-                }
-            }
-        }
-    }
+    ChargeState state{*this, std::move(config)};
+    state.quench();
+    config = state.config();
 }
 
 }  // namespace bestagon::phys

@@ -47,6 +47,17 @@ struct SimulationParameters
     /// so results are unchanged unless a caller rotates it (e.g. a bounded
     /// validation retry with a derive_seed-rotated stream).
     std::uint64_t anneal_seed{0x5eed};
+
+    /// Numerical tolerance of the stability checks and the greedy quench:
+    /// a move only counts as downhill when it lowers F by more than this, so
+    /// a quenched configuration is always physically valid under the same
+    /// tolerance. Shared by SiDBSystem, ChargeState and every engine.
+    double stability_tolerance{1e-9};
+
+    /// Energy window (in eV) within which two configurations count as
+    /// degenerate — the exhaustive engine's degeneracy_tolerance and the
+    /// accuracy bar the differential oracles hold the heuristic engines to.
+    double energy_tolerance{1e-6};
 };
 
 /// Screened Coulomb interaction energy of two negative charges at distance
@@ -62,6 +73,17 @@ class SiDBSystem
 {
   public:
     SiDBSystem(std::vector<SiDBSite> sites, const SimulationParameters& params);
+
+    /// Assembles a system from an externally precomputed potential matrix
+    /// (row-major n x n, symmetric, zero diagonal) without re-evaluating any
+    /// screened-Coulomb term. This is the fast path of GateInstanceCache,
+    /// which reuses the pattern-invariant block of the matrix across the 2^k
+    /// input patterns of a gate. Entries must equal what the evaluating
+    /// constructor would compute for \p sites — asserted via spot checks in
+    /// debug builds.
+    [[nodiscard]] static SiDBSystem from_potentials(std::vector<SiDBSite> sites,
+                                                    const SimulationParameters& params,
+                                                    std::vector<double> potentials);
 
     [[nodiscard]] std::size_t size() const noexcept { return sites_.size(); }
     [[nodiscard]] const std::vector<SiDBSite>& sites() const noexcept { return sites_; }
@@ -79,26 +101,31 @@ class SiDBSystem
     /// Grand potential F(n) = electrostatic energy + mu * (number of charges).
     [[nodiscard]] double grand_potential(const ChargeConfig& config) const;
 
-    /// Local potential v_i = sum_{j != i} V_ij n_j, in eV.
+    /// Local potential v_i = sum_{j != i} V_ij n_j, in eV. This is the naive
+    /// O(n) reference evaluator; hot loops should hold a ChargeState and
+    /// read its O(1) cache instead (see charge_state.hpp).
     [[nodiscard]] double local_potential(const ChargeConfig& config, std::size_t i) const;
 
     /// SiQAD population stability: mu + v_i <= 0 for DB-, >= 0 for DB0.
+    /// O(n^2): one kernel rebuild plus an O(n) scan.
     [[nodiscard]] bool population_stable(const ChargeConfig& config) const;
 
     /// No single electron hop from a DB- to a DB0 site lowers the energy.
+    /// O(n^2): one kernel rebuild plus O(1) cached hop deltas (was O(n^3)).
     [[nodiscard]] bool configuration_stable(const ChargeConfig& config) const;
 
     /// Physically valid = population stable and configuration stable.
-    [[nodiscard]] bool physically_valid(const ChargeConfig& config) const
-    {
-        return population_stable(config) && configuration_stable(config);
-    }
+    /// Shares a single kernel rebuild across both checks.
+    [[nodiscard]] bool physically_valid(const ChargeConfig& config) const;
 
     /// Greedy descent to the nearest local minimum of F under single flips
     /// and hops (mutates \p config). Guarantees physical validity on return.
+    /// O(n^2) per sweep via the charge-state kernel (was O(n^3)).
     void quench(ChargeConfig& config) const;
 
   private:
+    SiDBSystem() = default;  // for from_potentials
+
     std::vector<SiDBSite> sites_;
     SimulationParameters params_;
     std::vector<double> potentials_;  // row-major size() x size()

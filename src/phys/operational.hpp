@@ -58,6 +58,12 @@ struct GateDesign
     /// All sites of the simulation instance for one input pattern
     /// (permanent sites + per-pattern perturbers + output perturbers).
     [[nodiscard]] std::vector<SiDBSite> instance_sites(std::uint64_t pattern) const;
+
+    /// Reusable-buffer overload: clears \p out, reserves the exact instance
+    /// size and fills it in the same order as the returning overload. Lets
+    /// per-pattern loops reuse one allocation instead of churning the
+    /// allocator across the parallel pattern fan-out.
+    void instance_sites(std::uint64_t pattern, std::vector<SiDBSite>& out) const;
 };
 
 /// Ground-state engine selection.
@@ -75,9 +81,82 @@ enum class PairState : std::uint8_t
     undefined  ///< both or neither site charged: no valid logic value
 };
 
-/// Reads the state of \p pair given \p config over \p sites.
+/// Reads the state of \p pair given \p config over \p sites by resolving the
+/// pair's sites with a linear scan. If either site is missing from \p sites
+/// the readout is PairState::undefined and, when \p error is non-null, a
+/// one-line description of the unresolved site is recorded (the legacy
+/// behavior was a debug-only assert that silently read garbage in release
+/// builds). Hot paths should resolve indices once via GateInstanceCache and
+/// use read_pair_indexed instead.
 [[nodiscard]] PairState read_pair(const BDLPair& pair, const std::vector<SiDBSite>& sites,
-                                  const ChargeConfig& config);
+                                  const ChargeConfig& config, std::string* error = nullptr);
+
+/// Index-resolved BDL readout: O(1) per call. Indices come from
+/// GateInstanceCache (resolved once per gate design, not once per pattern).
+[[nodiscard]] PairState read_pair_indexed(std::size_t zero_index, std::size_t one_index,
+                                          const ChargeConfig& config);
+
+/// Pattern-invariant simulation cache of a gate design.
+///
+/// A gate's 2^k input-pattern instances share every site except the k input
+/// drivers (near/far perturber per input): the fixed block of the screened-
+/// Coulomb matrix V_ij — permanent sites, canvas dots and output perturbers
+/// against each other — is identical across patterns. The cache evaluates
+/// that block ONCE per (design, parameters), plus both the near and the far
+/// potential row of every driver and the 4 state combinations of every
+/// driver pair; `instantiate(pattern)` then assembles a ready SiDBSystem by
+/// copying precomputed rows instead of re-evaluating O(n^2) screened-Coulomb
+/// terms per pattern. Assembled systems are bit-identical to
+/// `SiDBSystem{design.instance_sites(pattern), params}`.
+///
+/// The cache also resolves every output pair's zero/one site to its fixed
+/// site index once, so per-pattern readout is O(1) per output instead of a
+/// linear scan over all sites.
+///
+/// Immutable after construction and safe to share across the concurrent
+/// pattern fan-out of check_operational / design_gate scoring.
+class GateInstanceCache
+{
+  public:
+    GateInstanceCache(const GateDesign& design, const SimulationParameters& params);
+
+    [[nodiscard]] const GateDesign& design() const noexcept { return *design_; }
+    [[nodiscard]] const SimulationParameters& parameters() const noexcept { return params_; }
+    [[nodiscard]] std::size_t num_sites() const noexcept { return base_sites_.size(); }
+
+    /// Assembles the simulation instance for \p pattern from the precomputed
+    /// blocks. Site order matches GateDesign::instance_sites: permanent
+    /// sites, then one driver per input, then output perturbers.
+    [[nodiscard]] SiDBSystem instantiate(std::uint64_t pattern) const;
+
+    /// O(1) readout of output pair \p o via the pre-resolved site indices.
+    /// Returns PairState::undefined when the pair did not resolve (see
+    /// output_pair_error).
+    [[nodiscard]] PairState read_output(std::size_t o, const ChargeConfig& config) const;
+
+    /// Empty when output pair \p o resolved to site indices at construction;
+    /// otherwise a description of the missing site. A non-empty error makes
+    /// every readout of that pair undefined (and the pattern incorrect)
+    /// instead of crashing or reading garbage.
+    [[nodiscard]] const std::string& output_pair_error(std::size_t o) const
+    {
+        return output_pair_errors_[o];
+    }
+
+  private:
+    [[nodiscard]] const SiDBSite& driver_site(std::size_t d, bool one) const;
+
+    const GateDesign* design_;
+    SimulationParameters params_;
+    std::vector<SiDBSite> base_sites_;     ///< instance layout; driver slots hold far sites
+    std::size_t num_fixed_{0};             ///< drivers occupy [num_fixed_, num_fixed_ + k)
+    std::vector<double> fixed_block_;      ///< n x n matrix, driver rows/cols zero
+    std::vector<double> driver_rows_;      ///< 2 rows (far, near) of length n per driver
+    std::vector<double> driver_pairs_;     ///< V for every driver pair x 4 state combos
+    std::vector<std::size_t> output_zero_index_;
+    std::vector<std::size_t> output_one_index_;
+    std::vector<std::string> output_pair_errors_;
+};
 
 /// Result of simulating a single input pattern.
 struct PatternResult
@@ -91,8 +170,17 @@ struct PatternResult
 };
 
 /// Simulates one input pattern of \p design and reads the outputs.
+/// Convenience wrapper that builds a single-use GateInstanceCache; loops
+/// over patterns should build the cache once and use the overload below.
 [[nodiscard]] PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t pattern,
                                                   const SimulationParameters& params,
+                                                  Engine engine = Engine::exhaustive,
+                                                  const core::RunBudget& run = {});
+
+/// Simulates one input pattern against a prebuilt instance cache: no
+/// screened-Coulomb term is re-evaluated and no site scan is performed.
+[[nodiscard]] PatternResult simulate_gate_pattern(const GateInstanceCache& cache,
+                                                  std::uint64_t pattern,
                                                   Engine engine = Engine::exhaustive,
                                                   const core::RunBudget& run = {});
 

@@ -67,6 +67,10 @@ OperationalDomain compute_operational_domain(const GateDesign& design, const Sim
             params.mu_minus = point.x;
             params.epsilon_r = point.y;
         }
+        // check_operational builds one GateInstanceCache per call, i.e. one
+        // pattern-invariant potential matrix per grid point — the potentials
+        // depend on (epsilon_r, lambda_tf, mu) and cannot be shared across
+        // points, but within a point the 2^k patterns share the fixed block
         const auto result = check_operational(design, params, engine, run);
         point.operational = result.operational && !result.cancelled;
         point.patterns_correct = result.patterns_correct;

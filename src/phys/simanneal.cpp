@@ -1,6 +1,7 @@
 #include "phys/simanneal.hpp"
 
 #include "core/thread_pool.hpp"
+#include "phys/charge_state.hpp"
 
 #include <cassert>
 #include <cmath>
@@ -30,7 +31,10 @@ std::pair<ChargeConfig, double> anneal_instance(const SiDBSystem& system,
     {
         c = (rng() & 1) != 0 ? 1 : 0;
     }
-    double f = system.grand_potential(config);
+    // Kernel with an O(n^2) one-time rebuild; every proposed move is then an
+    // O(1) cached delta and every accepted move an O(n) commit (the naive
+    // path paid O(n) local-potential sums per *proposal*).
+    ChargeState state{system, std::move(config)};
     double temperature = params.initial_temperature;
 
     for (unsigned step = 0; step < params.steps_per_instance; ++step)
@@ -46,13 +50,12 @@ std::pair<ChargeConfig, double> anneal_instance(const SiDBSystem& system,
         double delta = 0.0;
         std::size_t i = rng() % n;
         std::size_t j = n;
-        if (do_hop && config[i] != 0)
+        if (do_hop && state.charge(i) != 0)
         {
             j = rng() % n;
-            if (config[j] == 0 && j != i)
+            if (state.charge(j) == 0 && j != i)
             {
-                delta = system.local_potential(config, j) - system.local_potential(config, i) -
-                        system.potential(i, j);
+                delta = state.delta_hop(i, j);
             }
             else
             {
@@ -61,29 +64,30 @@ std::pair<ChargeConfig, double> anneal_instance(const SiDBSystem& system,
         }
         if (j == n)
         {
-            const double v = system.local_potential(config, i);
-            delta = config[i] == 0 ? (system.parameters().mu_minus + v)
-                                   : -(system.parameters().mu_minus + v);
+            delta = state.delta_flip(i);
         }
 
         if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature))
         {
             if (j != n)
             {
-                config[i] = 0;
-                config[j] = 1;
+                state.commit_hop(i, j);
             }
             else
             {
-                config[i] ^= 1;
+                state.commit_flip(i);
             }
-            f += delta;
         }
         temperature *= params.cooling_rate;
     }
 
-    system.quench(config);  // guarantees physical validity
-    return {std::move(config), system.grand_potential(config)};
+    // exact-resync before the descent: the quench decisions run on freshly
+    // summed potentials, exactly as the pre-kernel SiDBSystem::quench did
+    state.rebuild();
+    state.quench();  // guarantees physical validity
+    ChargeConfig quenched = state.config();
+    const double f_final = system.grand_potential(quenched);
+    return {std::move(quenched), f_final};
 }
 
 }  // namespace

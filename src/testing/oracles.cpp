@@ -1,10 +1,12 @@
 #include "testing/oracles.hpp"
 
+#include "core/thread_pool.hpp"
 #include "layout/equivalence_checking.hpp"
 #include "layout/scalable_physical_design.hpp"
 #include "logic/exact_synthesis.hpp"
 #include "logic/rewriting.hpp"
 #include "logic/tech_mapping.hpp"
+#include "phys/charge_state.hpp"
 #include "phys/exhaustive.hpp"
 #include "sat/proof.hpp"
 #include "sat/proof_check.hpp"
@@ -13,6 +15,8 @@
 
 #include <chrono>
 #include <cmath>
+#include <limits>
+#include <random>
 #include <sstream>
 
 namespace bestagon::testkit
@@ -226,6 +230,365 @@ OracleVerdict ground_state_differential(const std::vector<phys::SiDBSite>& canva
         out << "simanneal missed the ground state: " << heuristic.grand_potential << " eV vs "
             << exact.grand_potential << " eV exhaustive (" << canvas.size() << " dots)";
         return fail(out.str());
+    }
+    return {};
+}
+
+namespace
+{
+
+/// Pre-refactor naive quench: greedy descent evaluating a fresh O(n)
+/// local-potential sum at every decision — the exact SiDBSystem::quench
+/// code before the charge-state kernel refactor. Kept as the reference the
+/// kernel-backed engines are differenced against.
+void naive_quench(const phys::SiDBSystem& system, phys::ChargeConfig& config)
+{
+    const std::size_t n = system.size();
+    const double mu = system.parameters().mu_minus;
+    const double tol = system.parameters().stability_tolerance;
+    bool changed = true;
+    while (changed)
+    {
+        changed = false;
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            const double v = system.local_potential(config, i);
+            const double delta = config[i] == 0 ? (mu + v) : -(mu + v);
+            if (delta < -tol)
+            {
+                config[i] ^= 1;
+                changed = true;
+            }
+        }
+        for (std::size_t i = 0; i < n; ++i)
+        {
+            if (config[i] == 0)
+            {
+                continue;
+            }
+            for (std::size_t j = 0; j < n; ++j)
+            {
+                if (config[j] != 0 || j == i)
+                {
+                    continue;
+                }
+                const double delta = system.local_potential(config, j) -
+                                     system.local_potential(config, i) - system.potential(i, j);
+                if (delta < -tol)
+                {
+                    config[i] = 0;
+                    config[j] = 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Pre-refactor naive annealing instance: identical RNG stream and move
+/// logic to phys::simulated_annealing, but every proposal pays fresh O(n)
+/// local-potential sums and the trailing quench is the naive one.
+std::pair<phys::ChargeConfig, double> naive_anneal_instance(const phys::SiDBSystem& system,
+                                                            const phys::SimAnnealParameters& params,
+                                                            std::uint64_t seed)
+{
+    const std::size_t n = system.size();
+    std::mt19937_64 rng{seed};
+    std::uniform_real_distribution<double> uni{0.0, 1.0};
+
+    phys::ChargeConfig config(n, 0);
+    for (auto& c : config)
+    {
+        c = (rng() & 1) != 0 ? 1 : 0;
+    }
+    double temperature = params.initial_temperature;
+    for (unsigned step = 0; step < params.steps_per_instance; ++step)
+    {
+        const bool do_hop = (rng() & 3U) == 0;
+        double delta = 0.0;
+        std::size_t i = rng() % n;
+        std::size_t j = n;
+        if (do_hop && config[i] != 0)
+        {
+            j = rng() % n;
+            if (config[j] == 0 && j != i)
+            {
+                delta = system.local_potential(config, j) - system.local_potential(config, i) -
+                        system.potential(i, j);
+            }
+            else
+            {
+                j = n;
+            }
+        }
+        if (j == n)
+        {
+            const double v = system.local_potential(config, i);
+            delta = config[i] == 0 ? (system.parameters().mu_minus + v)
+                                   : -(system.parameters().mu_minus + v);
+        }
+        if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature))
+        {
+            if (j != n)
+            {
+                config[i] = 0;
+                config[j] = 1;
+            }
+            else
+            {
+                config[i] ^= 1;
+            }
+        }
+        temperature *= params.cooling_rate;
+    }
+    naive_quench(system, config);
+    return {std::move(config), system.grand_potential(config)};
+}
+
+/// Naive population + configuration stability with fresh sums everywhere
+/// (independent of both the kernel and SiDBSystem's kernel-backed checks).
+bool naive_physically_valid(const phys::SiDBSystem& system, const phys::ChargeConfig& config)
+{
+    const std::size_t n = system.size();
+    const double mu = system.parameters().mu_minus;
+    const double tol = system.parameters().stability_tolerance;
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        const double level = mu + system.local_potential(config, i);
+        if (config[i] != 0 && level > tol)
+        {
+            return false;
+        }
+        if (config[i] == 0 && level < -tol)
+        {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        if (config[i] == 0)
+        {
+            continue;
+        }
+        const double vi = system.local_potential(config, i);
+        for (std::size_t j = 0; j < n; ++j)
+        {
+            if (config[j] != 0 || j == i)
+            {
+                continue;
+            }
+            if (system.local_potential(config, j) - vi - system.potential(i, j) < -tol)
+            {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace
+
+OracleVerdict charge_state_differential(const std::vector<phys::SiDBSite>& canvas,
+                                        const phys::SimulationParameters& sim_params,
+                                        const phys::SimAnnealParameters& anneal_params,
+                                        std::uint64_t seed, unsigned num_moves, double tolerance,
+                                        ChargeStateFault fault)
+{
+    if (canvas.size() < 2)
+    {
+        return fail("charge-state oracle needs at least two sites");
+    }
+    const phys::SiDBSystem system{canvas, sim_params};
+    const std::size_t n = system.size();
+    Rng rng{seed};
+    std::ostringstream out;
+
+    // --- 1. cache fidelity under a random committed move sequence ----------
+    phys::ChargeConfig mirror(n, 0);
+    for (auto& c : mirror)
+    {
+        c = rng.chance(0.5) ? 1 : 0;
+    }
+    phys::ChargeState kernel{system, mirror};
+    const unsigned fault_move = num_moves / 2;
+    for (unsigned move = 0; move < num_moves; ++move)
+    {
+        // pick a move: mostly flips, hops when an electron and a hole exist
+        const std::size_t i = static_cast<std::size_t>(rng.below(n));
+        std::size_t hop_to = n;
+        if (rng.chance(0.25) && mirror[i] != 0)
+        {
+            const std::size_t j = static_cast<std::size_t>(rng.below(n));
+            if (mirror[j] == 0 && j != i)
+            {
+                hop_to = j;
+            }
+        }
+        if (fault == ChargeStateFault::skip_cache_update && move == fault_move)
+        {
+            // the mutant: the configuration changes but the cache does not
+            phys::ChargeConfig skipped = mirror;
+            skipped[i] ^= 1U;
+            kernel.testkit_adopt_config_skip_cache_update(skipped);
+            mirror = std::move(skipped);
+        }
+        else if (hop_to != n)
+        {
+            const double expect = system.local_potential(mirror, hop_to) -
+                                  system.local_potential(mirror, i) - system.potential(i, hop_to);
+            if (std::abs(kernel.delta_hop(i, hop_to) - expect) > tolerance)
+            {
+                out << "delta_hop(" << i << ", " << hop_to << ") = " << kernel.delta_hop(i, hop_to)
+                    << " diverges from the fresh evaluation " << expect << " at move " << move;
+                return fail(out.str());
+            }
+            kernel.commit_hop(i, hop_to);
+            mirror[i] = 0;
+            mirror[hop_to] = 1;
+        }
+        else
+        {
+            const double v = system.local_potential(mirror, i);
+            const double expect = mirror[i] == 0 ? (sim_params.mu_minus + v)
+                                                 : -(sim_params.mu_minus + v);
+            if (std::abs(kernel.delta_flip(i) - expect) > tolerance)
+            {
+                out << "delta_flip(" << i << ") = " << kernel.delta_flip(i)
+                    << " diverges from the fresh evaluation " << expect << " at move " << move;
+                return fail(out.str());
+            }
+            kernel.commit_flip(i);
+            mirror[i] ^= 1U;
+        }
+
+        if (kernel.config() != mirror)
+        {
+            out << "kernel configuration diverged from the mirrored moves at move " << move;
+            return fail(out.str());
+        }
+        for (std::size_t s = 0; s < n; ++s)
+        {
+            const double fresh = system.local_potential(mirror, s);
+            if (std::abs(kernel.local_potential(s) - fresh) > tolerance)
+            {
+                out << "cached v_" << s << " = " << kernel.local_potential(s)
+                    << " drifted beyond " << tolerance << " from the fresh sum " << fresh
+                    << " after move " << move << " (" << num_moves << " total)";
+                return fail(out.str());
+            }
+        }
+        const double fresh_f = system.grand_potential(mirror);
+        if (std::abs(kernel.grand_potential() - fresh_f) > tolerance * static_cast<double>(n))
+        {
+            out << "cached grand potential " << kernel.grand_potential()
+                << " diverges from the naive pairwise sum " << fresh_f << " after move " << move;
+            return fail(out.str());
+        }
+    }
+
+    // the exact-resync hook must restore bit-exact agreement
+    kernel.rebuild();
+    for (std::size_t s = 0; s < n; ++s)
+    {
+        if (kernel.local_potential(s) != system.local_potential(mirror, s))
+        {
+            out << "rebuild() left v_" << s << " = " << kernel.local_potential(s)
+                << " not bit-identical to the fresh sum " << system.local_potential(mirror, s);
+            return fail(out.str());
+        }
+    }
+
+    // --- 2a. kernel-backed quench vs. the naive reference -------------------
+    phys::ChargeConfig quench_start(n, 0);
+    for (auto& c : quench_start)
+    {
+        c = rng.chance(0.5) ? 1 : 0;
+    }
+    phys::ChargeConfig naive_quenched = quench_start;
+    naive_quench(system, naive_quenched);
+    phys::ChargeConfig kernel_quenched = quench_start;
+    system.quench(kernel_quenched);
+    if (kernel_quenched != naive_quenched)
+    {
+        return fail("kernel-backed quench took a different descent trajectory than the "
+                    "pre-refactor naive quench");
+    }
+
+    // --- 2b. kernel-backed anneal vs. the naive reference --------------------
+    phys::SimAnnealParameters serial = anneal_params;
+    serial.num_threads = 1;
+    const auto production = phys::simulated_annealing(system, serial);
+    phys::GroundStateResult reference;
+    reference.grand_potential = std::numeric_limits<double>::infinity();
+    for (unsigned inst = 0; inst < serial.num_instances; ++inst)
+    {
+        auto [config, f] =
+            naive_anneal_instance(system, serial, core::derive_seed(serial.seed, inst));
+        if (f < reference.grand_potential)
+        {
+            reference.grand_potential = f;
+            reference.config = std::move(config);
+        }
+    }
+    if (std::abs(production.grand_potential - reference.grand_potential) > tolerance)
+    {
+        out << "kernel-backed simulated annealing found " << production.grand_potential
+            << " eV but the pre-refactor naive path found " << reference.grand_potential
+            << " eV (" << n << " dots) — a move decision diverged";
+        return fail(out.str());
+    }
+    if (production.config != reference.config)
+    {
+        return fail("kernel-backed simulated annealing returned a different configuration than "
+                    "the pre-refactor naive path at equal energy");
+    }
+
+    // --- 2c. kernel-backed exhaustive vs. naive brute-force enumeration -----
+    if (n <= 14)
+    {
+        const auto exact = phys::exhaustive_ground_state(system);
+        if (!exact.complete)
+        {
+            return fail("exhaustive engine did not report a complete search");
+        }
+        double best = std::numeric_limits<double>::infinity();
+        const std::uint64_t count = 1ULL << n;
+        std::vector<double> energies(count, std::numeric_limits<double>::infinity());
+        for (std::uint64_t bits = 0; bits < count; ++bits)
+        {
+            phys::ChargeConfig config(n, 0);
+            for (std::size_t s = 0; s < n; ++s)
+            {
+                config[s] = static_cast<std::uint8_t>((bits >> s) & 1ULL);
+            }
+            if (!naive_physically_valid(system, config))
+            {
+                continue;
+            }
+            energies[bits] = system.grand_potential(config);
+            best = std::min(best, energies[bits]);
+        }
+        std::uint64_t degeneracy = 0;
+        for (const double f : energies)
+        {
+            if (f - best <= sim_params.energy_tolerance)
+            {
+                ++degeneracy;
+            }
+        }
+        if (std::abs(exact.grand_potential - best) > tolerance)
+        {
+            out << "kernel-backed exhaustive ground state " << exact.grand_potential
+                << " eV differs from the naive brute-force minimum " << best << " eV";
+            return fail(out.str());
+        }
+        if (exact.degeneracy != degeneracy)
+        {
+            out << "kernel-backed exhaustive engine counted " << exact.degeneracy
+                << " degenerate configurations; the naive brute force counted " << degeneracy;
+            return fail(out.str());
+        }
     }
     return {};
 }

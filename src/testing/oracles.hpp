@@ -96,6 +96,39 @@ enum class GroundStateFault : std::uint8_t
                                                       double tolerance_ev = 1e-6,
                                                       GroundStateFault fault = GroundStateFault::none);
 
+// --- 2b. charge-state kernel: incremental cache vs. naive evaluation --------
+
+enum class ChargeStateFault : std::uint8_t
+{
+    none,
+    skip_cache_update  ///< one commit updates the config but not the v_i cache
+};
+
+/// Differential oracle for the incremental charge-state kernel
+/// (phys::ChargeState), in three parts:
+///
+///  1. *Cache fidelity*: drives a kernel through \p num_moves seeded random
+///     flip/hop commits on \p canvas while mirroring the moves on a plain
+///     configuration; after every commit each cached v_i must match a fresh
+///     SiDBSystem::local_potential sum within \p tolerance, the kernel's
+///     O(n) cached grand potential must match the naive pairwise sum, and a
+///     rebuild() must restore bit-exact agreement.
+///  2. *Engine fidelity*: the kernel-backed quench, simulated annealing and
+///     exhaustive engines are cross-checked against pre-refactor naive
+///     reference implementations kept here (fresh local-potential sums at
+///     every decision): quench and anneal must reproduce the naive
+///     accept/reject trajectory (identical configurations, energies within
+///     \p tolerance) and the exhaustive ground state must match a naive
+///     brute-force enumeration (energy within \p tolerance, identical
+///     degeneracy) when the canvas is small enough to enumerate.
+///  3. With ChargeStateFault::skip_cache_update, one mid-sequence commit
+///     bypasses the cache update; the oracle must detect the divergence
+///     (mutation coverage for the oracle itself).
+[[nodiscard]] OracleVerdict charge_state_differential(
+    const std::vector<phys::SiDBSite>& canvas, const phys::SimulationParameters& sim_params,
+    const phys::SimAnnealParameters& anneal_params, std::uint64_t seed, unsigned num_moves = 256,
+    double tolerance = 1e-12, ChargeStateFault fault = ChargeStateFault::none);
+
 // --- 3. physical design: exact vs. scalable --------------------------------
 
 enum class PdFault : std::uint8_t

@@ -1,0 +1,273 @@
+/// \file test_charge_state.cpp
+/// \brief Unit tests of the incremental charge-state kernel and the
+///        pattern-invariant gate-instance potential cache.
+
+#include "phys/charge_state.hpp"
+#include "phys/operational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace
+{
+
+using namespace bestagon::phys;
+using bestagon::logic::TruthTable;
+
+std::vector<SiDBSite> triangle_canvas()
+{
+    return {{0, 0, 0}, {4, 1, 0}, {8, 2, 1}};
+}
+
+TEST(ChargeState, FreshCacheIsBitIdenticalToNaiveLocalPotential)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    const ChargeConfig config{1, 0, 1};
+    const ChargeState state{system, config};
+    for (std::size_t i = 0; i < system.size(); ++i)
+    {
+        EXPECT_EQ(state.local_potential(i), system.local_potential(config, i)) << "site " << i;
+    }
+    EXPECT_EQ(state.num_charges(), 2U);
+}
+
+TEST(ChargeState, DeltaFlipMatchesFreshEvaluation)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    const ChargeConfig config{1, 0, 1};
+    const ChargeState state{system, config};
+    for (std::size_t i = 0; i < system.size(); ++i)
+    {
+        const double v = system.local_potential(config, i);
+        const double expected = config[i] == 0 ? (params.mu_minus + v) : -(params.mu_minus + v);
+        EXPECT_EQ(state.delta_flip(i), expected) << "site " << i;
+    }
+}
+
+TEST(ChargeState, DeltaHopMatchesFreshEvaluation)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    const ChargeConfig config{1, 0, 1};
+    const ChargeState state{system, config};
+    const double expected =
+        system.local_potential(config, 1) - system.local_potential(config, 0) - system.potential(0, 1);
+    EXPECT_EQ(state.delta_hop(0, 1), expected);
+}
+
+TEST(ChargeState, CommitFlipAppliesDeltaAndUpdatesCache)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    ChargeState state{system, ChargeConfig{1, 0, 1}};
+    const double f_before = system.grand_potential(state.config());
+    const double delta = state.delta_flip(1);
+    state.commit_flip(1);
+    EXPECT_EQ(state.charge(1), 1U);
+    EXPECT_EQ(state.num_charges(), 3U);
+    const double f_after = system.grand_potential(state.config());
+    EXPECT_NEAR(f_after - f_before, delta, 1e-12);
+    for (std::size_t i = 0; i < system.size(); ++i)
+    {
+        EXPECT_NEAR(state.local_potential(i), system.local_potential(state.config(), i), 1e-12);
+    }
+}
+
+TEST(ChargeState, CommitHopMovesChargeAndUpdatesCache)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    ChargeState state{system, ChargeConfig{1, 0, 0}};
+    const double delta = state.delta_hop(0, 2);
+    const double f_before = system.grand_potential(state.config());
+    state.commit_hop(0, 2);
+    EXPECT_EQ(state.charge(0), 0U);
+    EXPECT_EQ(state.charge(2), 1U);
+    EXPECT_EQ(state.num_charges(), 1U);
+    EXPECT_NEAR(system.grand_potential(state.config()) - f_before, delta, 1e-12);
+    for (std::size_t i = 0; i < system.size(); ++i)
+    {
+        EXPECT_NEAR(state.local_potential(i), system.local_potential(state.config(), i), 1e-12);
+    }
+}
+
+TEST(ChargeState, RebuildRestoresBitExactAgreement)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    ChargeState state{system};
+    // a few commits introduce (at most ulp-level) incremental drift
+    state.commit_flip(0);
+    state.commit_flip(2);
+    state.commit_hop(0, 1);
+    state.commit_flip(0);
+    state.rebuild();
+    for (std::size_t i = 0; i < system.size(); ++i)
+    {
+        EXPECT_EQ(state.local_potential(i), system.local_potential(state.config(), i)) << i;
+    }
+}
+
+TEST(ChargeState, CachedEnergiesMatchNaivePairwiseSums)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    const ChargeConfig config{1, 1, 1};
+    const ChargeState state{system, config};
+    EXPECT_NEAR(state.electrostatic_energy(), system.electrostatic_energy(config), 1e-12);
+    EXPECT_NEAR(state.grand_potential(), system.grand_potential(config), 1e-12);
+}
+
+TEST(ChargeState, QuenchProducesPhysicallyValidConfiguration)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    ChargeState state{system, ChargeConfig{1, 1, 1}};
+    state.quench();
+    EXPECT_TRUE(state.physically_valid());
+    EXPECT_TRUE(system.physically_valid(state.config()));
+}
+
+TEST(ChargeState, StabilityChecksAgreeWithSystemChecks)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    for (std::uint8_t bits = 0; bits < 8; ++bits)
+    {
+        const ChargeConfig config{static_cast<std::uint8_t>(bits & 1),
+                                  static_cast<std::uint8_t>((bits >> 1) & 1),
+                                  static_cast<std::uint8_t>((bits >> 2) & 1)};
+        const ChargeState state{system, config};
+        EXPECT_EQ(state.population_stable(), system.population_stable(config)) << int(bits);
+        EXPECT_EQ(state.configuration_stable(), system.configuration_stable(config)) << int(bits);
+    }
+}
+
+TEST(ChargeState, ToleranceKnobsLiveInSimulationParameters)
+{
+    const SimulationParameters defaults{};
+    EXPECT_DOUBLE_EQ(defaults.stability_tolerance, 1e-9);
+    EXPECT_DOUBLE_EQ(defaults.energy_tolerance, 1e-6);
+}
+
+/// The two-driver OR-like design used across the operational tests.
+GateDesign two_input_design()
+{
+    GateDesign d;
+    d.name = "or2";
+    for (int k = 0; k < 3; ++k)
+    {
+        const int m = 1 + 4 * k;
+        d.sites.push_back({15, m, 0});
+        d.sites.push_back({15, m + 1, 0});
+        d.sites.push_back({45, m, 0});
+        d.sites.push_back({45, m + 1, 0});
+    }
+    d.input_pairs.push_back({{15, 1, 0}, {15, 2, 0}});
+    d.input_pairs.push_back({{45, 1, 0}, {45, 2, 0}});
+    d.output_pairs.push_back({{15, 9, 0}, {15, 10, 0}});
+    d.drivers.push_back({{15, -3, 0}, {15, -2, 0}});
+    d.drivers.push_back({{45, -3, 0}, {45, -2, 0}});
+    d.output_perturbers.push_back({15, 13, 1});
+    d.functions.push_back(TruthTable::from_binary("1110"));
+    return d;
+}
+
+TEST(GateInstanceCache, InstantiateIsBitIdenticalToNaiveConstruction)
+{
+    const auto design = two_input_design();
+    const SimulationParameters params{};
+    const GateInstanceCache cache{design, params};
+    for (std::uint64_t pattern = 0; pattern < 4; ++pattern)
+    {
+        const auto cached = cache.instantiate(pattern);
+        const SiDBSystem naive{design.instance_sites(pattern), params};
+        ASSERT_EQ(cached.size(), naive.size()) << "pattern " << pattern;
+        EXPECT_EQ(cached.sites(), naive.sites()) << "pattern " << pattern;
+        for (std::size_t i = 0; i < naive.size(); ++i)
+        {
+            for (std::size_t j = 0; j < naive.size(); ++j)
+            {
+                ASSERT_EQ(cached.potential(i, j), naive.potential(i, j))
+                    << "pattern " << pattern << " entry (" << i << ", " << j << ")";
+            }
+        }
+    }
+}
+
+TEST(GateInstanceCache, CachedPatternSimulationMatchesNaivePath)
+{
+    const auto design = two_input_design();
+    SimulationParameters params;
+    params.num_threads = 1;
+    const GateInstanceCache cache{design, params};
+    for (std::uint64_t pattern = 0; pattern < 4; ++pattern)
+    {
+        const auto cached = simulate_gate_pattern(cache, pattern, Engine::exhaustive);
+        const auto direct = simulate_gate_pattern(design, pattern, params, Engine::exhaustive);
+        EXPECT_EQ(cached.ground_state.config, direct.ground_state.config) << pattern;
+        EXPECT_EQ(cached.ground_state.grand_potential, direct.ground_state.grand_potential)
+            << pattern;
+        EXPECT_EQ(cached.correct, direct.correct) << pattern;
+        EXPECT_EQ(cached.sites, direct.sites) << pattern;
+    }
+}
+
+TEST(GateInstanceCache, ResolvesOutputPairIndicesOnce)
+{
+    const auto design = two_input_design();
+    const GateInstanceCache cache{design, SimulationParameters{}};
+    ASSERT_TRUE(cache.output_pair_error(0).empty()) << cache.output_pair_error(0);
+    // site 6 is the output zero site, 7 the one site (third column-15 pair)
+    ChargeConfig config(cache.num_sites(), 0);
+    const auto sites = design.instance_sites(0);
+    for (std::size_t i = 0; i < sites.size(); ++i)
+    {
+        if (sites[i] == design.output_pairs[0].one_site)
+        {
+            config[i] = 1;
+        }
+    }
+    EXPECT_EQ(cache.read_output(0, config), PairState::one);
+}
+
+TEST(GateInstanceCache, RecordsUnresolvableOutputPair)
+{
+    auto design = two_input_design();
+    design.output_pairs[0].one_site = {59, 23, 1};  // not among the instance sites
+    const GateInstanceCache cache{design, SimulationParameters{}};
+    EXPECT_FALSE(cache.output_pair_error(0).empty());
+    const ChargeConfig config(cache.num_sites(), 0);
+    EXPECT_EQ(cache.read_output(0, config), PairState::undefined);
+}
+
+TEST(ReadPair, ReturnsUndefinedWithRecordedErrorInsteadOfAsserting)
+{
+    const std::vector<SiDBSite> sites{{0, 0, 0}, {4, 0, 0}};
+    const ChargeConfig config{1, 0};
+    const BDLPair missing{{9, 9, 0}, {4, 0, 0}};
+    std::string error;
+    EXPECT_EQ(read_pair(missing, sites, config, &error), PairState::undefined);
+    EXPECT_NE(error.find("not among the instance sites"), std::string::npos) << error;
+
+    const BDLPair present{{0, 0, 0}, {4, 0, 0}};
+    EXPECT_EQ(read_pair(present, sites, config), PairState::zero);
+}
+
+TEST(GateDesign, InstanceSitesBufferOverloadMatchesAndReusesCapacity)
+{
+    const auto design = two_input_design();
+    std::vector<SiDBSite> buffer;
+    design.instance_sites(2, buffer);
+    EXPECT_EQ(buffer, design.instance_sites(2));
+    const auto* data_before = buffer.data();
+    design.instance_sites(1, buffer);  // same instance size: capacity must be reused
+    EXPECT_EQ(buffer, design.instance_sites(1));
+    EXPECT_EQ(buffer.data(), data_before);
+}
+
+}  // namespace

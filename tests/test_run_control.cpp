@@ -435,7 +435,7 @@ TEST(RunControl, ExhaustiveCancellationReportsIncomplete)
         sites.push_back({4 * n, 0, 0});
     }
     const phys::SiDBSystem system{sites, params};
-    const auto result = phys::exhaustive_ground_state(system, 1e-6, tripped_budget());
+    const auto result = phys::exhaustive_ground_state(system, tripped_budget());
     EXPECT_TRUE(result.cancelled);
     EXPECT_FALSE(result.complete);
 
