@@ -131,35 +131,45 @@ double naive_anneal_instance(const SiDBSystem& system, std::uint64_t seed)
     double temperature = initial_temperature;
     for (unsigned step = 0; step < anneal_steps; ++step)
     {
+        // mirrors the production proposal loop: an invalid hop is rejected
         const bool do_hop = (rng() & 3U) == 0;
+        const std::size_t i = rng() % n;
+        std::size_t hop_to = n;
+        bool rejected = false;
         double delta = 0.0;
-        std::size_t i = rng() % n;
-        std::size_t j = n;
-        if (do_hop && config[i] != 0)
+        if (do_hop)
         {
-            j = rng() % n;
-            if (config[j] == 0 && j != i)
+            if (config[i] == 0)
             {
-                delta = system.local_potential(config, j) - system.local_potential(config, i) -
-                        system.potential(i, j);
+                rejected = true;
             }
             else
             {
-                j = n;
+                const std::size_t j = rng() % n;
+                if (config[j] == 0 && j != i)
+                {
+                    hop_to = j;
+                    delta = system.local_potential(config, j) - system.local_potential(config, i) -
+                            system.potential(i, j);
+                }
+                else
+                {
+                    rejected = true;
+                }
             }
         }
-        if (j == n)
+        else
         {
             const double v = system.local_potential(config, i);
             delta = config[i] == 0 ? (system.parameters().mu_minus + v)
                                    : -(system.parameters().mu_minus + v);
         }
-        if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature))
+        if (!rejected && (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature)))
         {
-            if (j != n)
+            if (hop_to != n)
             {
                 config[i] = 0;
-                config[j] = 1;
+                config[hop_to] = 1;
             }
             else
             {
@@ -188,31 +198,41 @@ double kernel_anneal_instance(const SiDBSystem& system, std::uint64_t seed)
     double temperature = initial_temperature;
     for (unsigned step = 0; step < anneal_steps; ++step)
     {
+        // mirrors the production proposal loop: an invalid hop is rejected
         const bool do_hop = (rng() & 3U) == 0;
+        const std::size_t i = rng() % n;
+        std::size_t hop_to = n;
+        bool rejected = false;
         double delta = 0.0;
-        std::size_t i = rng() % n;
-        std::size_t j = n;
-        if (do_hop && state.charge(i) != 0)
+        if (do_hop)
         {
-            j = rng() % n;
-            if (state.charge(j) == 0 && j != i)
+            if (state.charge(i) == 0)
             {
-                delta = state.delta_hop(i, j);
+                rejected = true;
             }
             else
             {
-                j = n;
+                const std::size_t j = rng() % n;
+                if (state.charge(j) == 0 && j != i)
+                {
+                    hop_to = j;
+                    delta = state.delta_hop(i, j);
+                }
+                else
+                {
+                    rejected = true;
+                }
             }
         }
-        if (j == n)
+        else
         {
             delta = state.delta_flip(i);
         }
-        if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature))
+        if (!rejected && (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature)))
         {
-            if (j != n)
+            if (hop_to != n)
             {
-                state.commit_hop(i, j);
+                state.commit_hop(i, hop_to);
             }
             else
             {

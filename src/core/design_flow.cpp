@@ -312,7 +312,8 @@ void run_flow_stages(const logic::LogicNetwork& specification, const FlowOptions
                 // stochastic engine: bounded retries with a deterministically
                 // rotated seed before declaring the tile non-operational
                 while (!check.operational && !check.cancelled &&
-                       options.validation_engine == phys::Engine::simanneal &&
+                       phys::stochastic_engine(phys::resolve_engine(options.validation_engine,
+                                                                    options.sim_params)) &&
                        v.retries < options.validation_retries && !val_run.stopped())
                 {
                     ++v.retries;

@@ -62,11 +62,13 @@ struct FlowOptions
     /// concurrency, 1 = serial); results are thread-count invariant.
     phys::SimulationParameters sim_params{};
 
-    /// Ground-state engine for step (7b). `simanneal` is stochastic; a tile
-    /// that fails its check is retried up to validation_retries times with a
-    /// deterministically rotated anneal seed (retries are recorded in the
-    /// stage diagnostics). `exhaustive` never retries.
-    phys::Engine validation_engine{phys::Engine::exhaustive};
+    /// Ground-state engine for step (7b). `automatic` defers to
+    /// sim_params.engine (Engine::exact by default). With a stochastic
+    /// engine (simanneal, quicksim) a tile that fails its check is retried
+    /// up to validation_retries times with a deterministically rotated
+    /// anneal seed (retries are recorded in the stage diagnostics); exact
+    /// engines never retry.
+    phys::Engine validation_engine{phys::Engine::automatic};
     unsigned validation_retries{0};
 
     // ------------------------------------------------------------------

@@ -1,10 +1,31 @@
 #include "phys/charge_state.hpp"
 
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace bestagon::phys
 {
+
+namespace
+{
+
+/// A configuration/system size mismatch used to be a debug-only assert, so a
+/// release build silently indexed out of bounds on every row update. Promote
+/// it to a thrown contract error (the read_pair precedent: a recorded error
+/// instead of silent garbage).
+void require_matching_size(std::size_t config_size, std::size_t system_size)
+{
+    if (config_size != system_size)
+    {
+        throw std::invalid_argument{"ChargeState: configuration has " +
+                                    std::to_string(config_size) + " sites but the system has " +
+                                    std::to_string(system_size)};
+    }
+}
+
+}  // namespace
 
 ChargeState::ChargeState(const SiDBSystem& system)
     : system_{&system}, config_(system.size(), 0), v_(system.size(), 0.0)
@@ -14,13 +35,13 @@ ChargeState::ChargeState(const SiDBSystem& system)
 ChargeState::ChargeState(const SiDBSystem& system, ChargeConfig config)
     : system_{&system}, config_{std::move(config)}
 {
-    assert(config_.size() == system.size());
+    require_matching_size(config_.size(), system.size());
     rebuild();
 }
 
 void ChargeState::assign(ChargeConfig config)
 {
-    assert(config.size() == system_->size());
+    require_matching_size(config.size(), system_->size());
     config_ = std::move(config);
     rebuild();
 }
@@ -205,7 +226,7 @@ double ChargeState::grand_potential() const
 
 void ChargeState::testkit_adopt_config_skip_cache_update(ChargeConfig config)
 {
-    assert(config.size() == system_->size());
+    require_matching_size(config.size(), system_->size());
     config_ = std::move(config);
     num_charges_ = 0;
     for (const auto c : config_)

@@ -68,10 +68,14 @@ class ChargeState
     /// All-neutral configuration (every v_i = 0 — exact).
     explicit ChargeState(const SiDBSystem& system);
 
-    /// Adopts \p config and rebuilds the cache (O(n^2), exact).
+    /// Adopts \p config and rebuilds the cache (O(n^2), exact). Throws
+    /// std::invalid_argument when the configuration size does not match the
+    /// system (a debug-only assert before — silent OOB in release builds).
     ChargeState(const SiDBSystem& system, ChargeConfig config);
 
     /// Replaces the configuration and rebuilds the cache (O(n^2), exact).
+    /// Throws std::invalid_argument on a size mismatch, like the adopting
+    /// constructor.
     void assign(ChargeConfig config);
 
     /// Exact-resync hook: recomputes every v_i from scratch with the naive

@@ -141,7 +141,11 @@ GroundStateResult exhaustive_ground_state(const SiDBSystem& system, double degen
 
     GroundStateResult result;
     result.config = s.best_config;
-    result.grand_potential = s.best_f;
+    // fresh evaluation, not the accumulated partial sum: branch/unwind pairs
+    // can leave ulp-level drift in the running best_f, and the kernel
+    // doctrine is that reported energies come from a fresh evaluation
+    result.grand_potential =
+        s.best_config.empty() ? s.best_f : system.grand_potential(s.best_config);
     result.electrostatic = s.best_config.empty() ? 0.0 : system.electrostatic_energy(s.best_config);
     result.degeneracy = std::max<std::uint64_t>(1, s.degeneracy);
     result.complete = !s.stopped;

@@ -26,7 +26,7 @@ unsigned score_design(const GateDesign& design, const SimulationParameters& para
     const GateInstanceCache cache{design, params};
     std::vector<unsigned> pattern_scores(patterns, 0);
     core::parallel_for(params.num_threads, patterns, run, [&](std::size_t p) {
-        const auto r = simulate_gate_pattern(cache, p, Engine::exhaustive, run);
+        const auto r = simulate_gate_pattern(cache, p, Engine::automatic, run);
         if (r.correct)
         {
             pattern_scores[p] = 2;

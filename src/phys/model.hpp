@@ -27,6 +27,32 @@ namespace bestagon::phys
 /// Coulomb constant e / (4 pi eps_0) in eV nm.
 inline constexpr double coulomb_k = 1.43996448;
 
+/// Ground-state engine selection — the common surface every simulation entry
+/// point (check_operational, operational-domain sweeps, gate-designer
+/// scoring, flow validation) accepts. `automatic` defers to
+/// SimulationParameters::engine, so a single knob switches the whole stack.
+///
+/// Exact engines (guaranteed global minimum + exact degeneracy):
+///  - `exhaustive`: the legacy pair-pruned branch-and-bound (exhaustive.hpp),
+///    kept as the differential-oracle reference.
+///  - `exact`: the population-bounded search (ground_state_exact.hpp) — the
+///    default. Bit-identical results to `exhaustive` (same seeding, same
+///    float-op sequence on every surviving branch), but physically informed
+///    pruning lets it complete canvases far past the exhaustive ceiling.
+///
+/// Heuristic engines (physically valid result, no optimality certificate):
+///  - `simanneal`: SiQAD-style simulated annealing (simanneal.hpp).
+///  - `quicksim`: max-population seeding + adaptive hopping (quicksim.hpp),
+///    drastically fewer moves per instance than simanneal at equal accuracy.
+enum class Engine : std::uint8_t
+{
+    automatic,   ///< use SimulationParameters::engine
+    exhaustive,  ///< legacy pair-pruned branch-and-bound (exact)
+    simanneal,   ///< simulated annealing (heuristic)
+    quicksim,    ///< physically-informed seeding + adaptive hops (heuristic)
+    exact        ///< population-bounded exact search (the default)
+};
+
 /// Physical simulation parameters (defaults per the paper's Fig. 5).
 struct SimulationParameters
 {
@@ -42,10 +68,16 @@ struct SimulationParameters
     /// seeds are derived deterministically per work item.
     unsigned num_threads{0};
 
-    /// Base seed of the simulated-annealing engine when it is selected for
-    /// ground-state searches. The default matches SimAnnealParameters::seed,
-    /// so results are unchanged unless a caller rotates it (e.g. a bounded
-    /// validation retry with a derive_seed-rotated stream).
+    /// Ground-state engine used wherever a caller selects Engine::automatic
+    /// (the default of check_operational, simulate_gate_pattern, the
+    /// operational-domain sweep and the gate designer's scoring loop).
+    Engine engine{Engine::exact};
+
+    /// Base seed of the stochastic engines (simanneal, quicksim) when one is
+    /// selected for ground-state searches. The default matches
+    /// SimAnnealParameters::seed, so results are unchanged unless a caller
+    /// rotates it (e.g. a bounded validation retry with a derive_seed-rotated
+    /// stream).
     std::uint64_t anneal_seed{0x5eed};
 
     /// Numerical tolerance of the stability checks and the greedy quench:
@@ -137,7 +169,12 @@ struct GroundStateResult
     ChargeConfig config;           ///< best configuration found
     double grand_potential{0.0};   ///< F of that configuration
     double electrostatic{0.0};     ///< electrostatic part, in eV
-    std::uint64_t degeneracy{1};   ///< number of configs within tolerance (exhaustive only)
+    /// Number of physically valid configurations within energy_tolerance of
+    /// the minimum. Exact engines (exhaustive, exact) report the true count;
+    /// stochastic engines (simanneal, quicksim) report the number of
+    /// *distinct* tying configurations their instances visited — a lower
+    /// bound on the true degeneracy, never an exact count.
+    std::uint64_t degeneracy{1};
     bool complete{false};          ///< true if the search space was covered exhaustively
     bool cancelled{false};         ///< the search was cut by a run budget (result is partial)
 };

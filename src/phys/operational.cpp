@@ -239,24 +239,16 @@ PatternResult simulate_gate_pattern(const GateInstanceCache& cache, std::uint64_
                                     Engine engine, const core::RunBudget& run)
 {
     const GateDesign& design = cache.design();
-    const SimulationParameters& params = cache.parameters();
 
     PatternResult result;
     result.pattern = pattern;
 
     const SiDBSystem system = cache.instantiate(pattern);
     result.sites = system.sites();
-    if (engine == Engine::exhaustive)
-    {
-        result.ground_state = exhaustive_ground_state(system, run);
-    }
-    else
-    {
-        SimAnnealParameters annealing;
-        annealing.num_threads = params.num_threads;  // 1 stays fully serial
-        annealing.seed = params.anneal_seed;
-        result.ground_state = simulated_annealing(system, annealing, run);
-    }
+    // engine dispatch (incl. the stochastic engines' seed/thread wiring)
+    // lives in one place: find_ground_state resolves Engine::automatic
+    // against params.engine — Engine::exact by default
+    result.ground_state = find_ground_state(system, engine, run);
     result.evaluated = true;
 
     result.correct = true;

@@ -13,9 +13,8 @@
 
 #include "core/run_control.hpp"
 #include "logic/truth_table.hpp"
-#include "phys/exhaustive.hpp"
+#include "phys/ground_state.hpp"
 #include "phys/model.hpp"
-#include "phys/simanneal.hpp"
 
 #include <string>
 #include <vector>
@@ -64,13 +63,6 @@ struct GateDesign
     /// per-pattern loops reuse one allocation instead of churning the
     /// allocator across the parallel pattern fan-out.
     void instance_sites(std::uint64_t pattern, std::vector<SiDBSite>& out) const;
-};
-
-/// Ground-state engine selection.
-enum class Engine : std::uint8_t
-{
-    exhaustive,
-    simanneal
 };
 
 /// Logic readout of a BDL pair from a charge configuration.
@@ -174,14 +166,14 @@ struct PatternResult
 /// over patterns should build the cache once and use the overload below.
 [[nodiscard]] PatternResult simulate_gate_pattern(const GateDesign& design, std::uint64_t pattern,
                                                   const SimulationParameters& params,
-                                                  Engine engine = Engine::exhaustive,
+                                                  Engine engine = Engine::automatic,
                                                   const core::RunBudget& run = {});
 
 /// Simulates one input pattern against a prebuilt instance cache: no
 /// screened-Coulomb term is re-evaluated and no site scan is performed.
 [[nodiscard]] PatternResult simulate_gate_pattern(const GateInstanceCache& cache,
                                                   std::uint64_t pattern,
-                                                  Engine engine = Engine::exhaustive,
+                                                  Engine engine = Engine::automatic,
                                                   const core::RunBudget& run = {});
 
 /// Result of a full operational check.
@@ -207,7 +199,7 @@ inline constexpr unsigned max_gate_inputs = 63;
 /// max_gate_inputs inputs.
 [[nodiscard]] OperationalResult check_operational(const GateDesign& design,
                                                   const SimulationParameters& params,
-                                                  Engine engine = Engine::exhaustive,
+                                                  Engine engine = Engine::automatic,
                                                   const core::RunBudget& run = {});
 
 }  // namespace bestagon::phys

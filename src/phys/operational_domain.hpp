@@ -56,7 +56,7 @@ struct OperationalDomain
 [[nodiscard]] OperationalDomain compute_operational_domain(const GateDesign& design,
                                                            const SimulationParameters& base,
                                                            const DomainSweep& sweep,
-                                                           Engine engine = Engine::exhaustive,
+                                                           Engine engine = Engine::automatic,
                                                            const core::RunBudget& run = {});
 
 }  // namespace bestagon::phys

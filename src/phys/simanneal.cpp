@@ -3,6 +3,7 @@
 #include "core/thread_pool.hpp"
 #include "phys/charge_state.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -45,33 +46,47 @@ std::pair<ChargeConfig, double> anneal_instance(const SiDBSystem& system,
         {
             break;
         }
-        // move: flip a random site, or hop a random electron
+        // move: flip a random site (75%) or hop a random electron (25%). An
+        // invalid hop — neutral source, or an occupied/equal target — is a
+        // REJECTED proposal: the schedule advances and nothing moves. (It
+        // used to fall through to delta_flip(i), which silently re-weighted
+        // the move mix toward flips whose index happened to be drawn in a
+        // hop attempt, a state-dependent bias.)
         const bool do_hop = (rng() & 3U) == 0;  // 25% hops
+        const std::size_t i = rng() % n;
+        std::size_t hop_to = n;  // n = the proposal is a flip
+        bool rejected = false;
         double delta = 0.0;
-        std::size_t i = rng() % n;
-        std::size_t j = n;
-        if (do_hop && state.charge(i) != 0)
+        if (do_hop)
         {
-            j = rng() % n;
-            if (state.charge(j) == 0 && j != i)
+            if (state.charge(i) == 0)
             {
-                delta = state.delta_hop(i, j);
+                rejected = true;  // no electron on the source site
             }
             else
             {
-                j = n;  // invalid hop; fall through to flip
+                const std::size_t j = rng() % n;
+                if (state.charge(j) == 0 && j != i)
+                {
+                    hop_to = j;
+                    delta = state.delta_hop(i, j);
+                }
+                else
+                {
+                    rejected = true;  // occupied or equal target
+                }
             }
         }
-        if (j == n)
+        else
         {
             delta = state.delta_flip(i);
         }
 
-        if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature))
+        if (!rejected && (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature)))
         {
-            if (j != n)
+            if (hop_to != n)
             {
-                state.commit_hop(i, j);
+                state.commit_hop(i, hop_to);
             }
             else
             {
@@ -120,13 +135,38 @@ GroundStateResult simulated_annealing(const SiDBSystem& system, const SimAnnealP
 
     // serial reduction in instance order (strict '<' keeps the lowest index
     // among ties, matching the legacy serial loop)
-    for (auto& [config, f] : instances)
+    std::size_t best_index = instances.size();
+    for (std::size_t i = 0; i < instances.size(); ++i)
     {
-        if (f < best.grand_potential)
+        if (instances[i].second < best.grand_potential)
         {
-            best.grand_potential = f;
-            best.config = std::move(config);
+            best.grand_potential = instances[i].second;
+            best_index = i;
         }
+    }
+
+    if (best_index < instances.size())
+    {
+        // Degeneracy: the number of *distinct* configurations among the
+        // instances that tie the best energy within energy_tolerance —
+        // duplicates of one minimum count once, so this is a genuine lower
+        // bound on the true degeneracy (it used to be hardcoded to 1).
+        const double tol = system.parameters().energy_tolerance;
+        std::vector<const ChargeConfig*> tied;
+        for (const auto& [config, f] : instances)
+        {
+            if (f <= best.grand_potential + tol)
+            {
+                const bool seen = std::any_of(tied.begin(), tied.end(),
+                                              [&](const ChargeConfig* c) { return *c == config; });
+                if (!seen)
+                {
+                    tied.push_back(&config);
+                }
+            }
+        }
+        best.degeneracy = static_cast<std::uint64_t>(tied.size());
+        best.config = std::move(instances[best_index].first);
     }
 
     // num_instances == 0 (or no instance recorded) leaves best.config empty;

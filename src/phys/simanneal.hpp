@@ -30,10 +30,15 @@ struct SimAnnealParameters
 };
 
 /// Runs simulated annealing on the grand potential F with single-flip and
-/// electron-hop moves, followed by a greedy quench of each instance. Returns
-/// the best physically valid configuration found (complete = false). With
-/// num_instances == 0 the result is well-defined and empty: no config,
-/// grand_potential = +inf, electrostatic = 0.
+/// electron-hop moves, followed by a greedy quench of each instance. An
+/// invalid hop proposal (neutral source, occupied or equal target) counts as
+/// a rejected move — it does NOT fall through to a flip, which would bias
+/// the move mix. Returns the best physically valid configuration found
+/// (complete = false); `degeneracy` is the number of *distinct* tying
+/// configurations across the instances — a lower bound on the true
+/// degeneracy, never an exact count. With num_instances == 0 the result is
+/// well-defined and empty: no config, grand_potential = +inf,
+/// electrostatic = 0.
 ///
 /// A limited \p run budget is polled between instances and every 64 steps
 /// within an instance; on stop, running instances are quenched (so every

@@ -8,6 +8,8 @@
 #include "logic/tech_mapping.hpp"
 #include "phys/charge_state.hpp"
 #include "phys/exhaustive.hpp"
+#include "phys/ground_state_exact.hpp"
+#include "phys/quicksim.hpp"
 #include "sat/proof.hpp"
 #include "sat/proof_check.hpp"
 #include "sat/solver.hpp"
@@ -180,58 +182,170 @@ OracleVerdict sat_differential(const sat::Cnf& cnf, unsigned max_bruteforce_vars
     return {};
 }
 
+namespace
+{
+
+/// Heuristic-engine checks shared by simanneal and quicksim: validity,
+/// self-consistent energy, never beating the reference minimum, accuracy
+/// within tolerance, and the degeneracy lower-bound contract.
+OracleVerdict check_heuristic_ground_state(const char* name, const phys::SiDBSystem& system,
+                                           const phys::GroundStateResult& reference,
+                                           const phys::GroundStateResult& heuristic,
+                                           double tolerance_ev)
+{
+    std::ostringstream out;
+    if (heuristic.config.size() != system.size())
+    {
+        out << name << " returned a configuration of the wrong size";
+        return fail(out.str());
+    }
+    if (!system.physically_valid(heuristic.config))
+    {
+        out << name
+            << " configuration is not physically valid (population or "
+               "configuration stability violated)";
+        return fail(out.str());
+    }
+    const double recomputed = system.grand_potential(heuristic.config);
+    if (std::abs(recomputed - heuristic.grand_potential) > 1e-9)
+    {
+        out << name << " misreports its own energy: config evaluates to " << recomputed
+            << " eV but " << heuristic.grand_potential << " eV was reported";
+        return fail(out.str());
+    }
+    if (heuristic.grand_potential < reference.grand_potential - 1e-9)
+    {
+        out << name << " energy " << heuristic.grand_potential
+            << " eV beats the exhaustive minimum " << reference.grand_potential
+            << " eV — the exact engine is not exact";
+        return fail(out.str());
+    }
+    if (heuristic.grand_potential > reference.grand_potential + tolerance_ev)
+    {
+        out << name << " missed the ground state: " << heuristic.grand_potential << " eV vs "
+            << reference.grand_potential << " eV exhaustive (" << system.size() << " dots)";
+        return fail(out.str());
+    }
+    // distinct-configuration degeneracy is a lower bound on the true count,
+    // but only when the heuristic actually sits on the minimum (otherwise
+    // its tolerance window is shifted upward and may cover configurations
+    // the exhaustive count excludes)
+    if (heuristic.grand_potential <= reference.grand_potential + 1e-9 &&
+        heuristic.degeneracy > reference.degeneracy)
+    {
+        out << name << " reports degeneracy " << heuristic.degeneracy
+            << " above the exhaustive engine's true count " << reference.degeneracy;
+        return fail(out.str());
+    }
+    return {};
+}
+
+}  // namespace
+
 OracleVerdict ground_state_differential(const std::vector<phys::SiDBSite>& canvas,
                                         const phys::SimulationParameters& sim_params,
                                         const phys::SimAnnealParameters& anneal_params,
                                         double tolerance_ev, GroundStateFault fault)
 {
     const phys::SiDBSystem system{canvas, sim_params};
-    auto exact = phys::exhaustive_ground_state(system);
-    auto heuristic = phys::simulated_annealing(system, anneal_params);
-    if (!exact.complete)
+    auto reference = phys::exhaustive_ground_state(system);
+    if (!reference.complete)
     {
         return fail("exhaustive engine did not report a complete search");
     }
-    if (heuristic.config.size() != canvas.size())
+    if (fault == GroundStateFault::shift_exact_energy)
     {
-        return fail("simanneal returned a configuration of the wrong size");
-    }
-    if (fault == GroundStateFault::corrupt_anneal_config)
-    {
-        heuristic.config[0] ^= 1U;
-    }
-    else if (fault == GroundStateFault::shift_exact_energy)
-    {
-        exact.grand_potential += 0.010;
+        reference.grand_potential += 0.010;
     }
 
-    if (!system.physically_valid(heuristic.config))
-    {
-        return fail("simanneal configuration is not physically valid (population or "
-                    "configuration stability violated)");
-    }
-    const double recomputed = system.grand_potential(heuristic.config);
     std::ostringstream out;
-    if (std::abs(recomputed - heuristic.grand_potential) > 1e-9)
+
+    // --- exact engine: claims bit-identical results to exhaustive ----------
+    phys::GroundStateResult exact;
+    if (fault == GroundStateFault::shrink_exact_population_window)
     {
-        out << "simanneal misreports its own energy: config evaluates to " << recomputed
-            << " eV but " << heuristic.grand_potential << " eV was reported";
+        // unsound-window mutant: force one charged ground-state site neutral
+        // (or, for an all-neutral ground state, force site 0 negative) so the
+        // search prunes the true minimum
+        auto window = phys::compute_population_window(system);
+        if (canvas.empty())
+        {
+            return fail("shrink_exact_population_window needs a non-empty canvas");
+        }
+        std::size_t site = 0;
+        std::uint8_t forced = phys::site_forced_negative;
+        for (std::size_t i = 0; i < reference.config.size(); ++i)
+        {
+            if (reference.config[i] != 0)
+            {
+                site = i;
+                forced = phys::site_forced_neutral;
+                break;
+            }
+        }
+        window.status[site] = forced;
+        exact = phys::testkit_exact_ground_state_with_window(
+            system, system.parameters().energy_tolerance, window);
+    }
+    else
+    {
+        exact = phys::exact_ground_state(system);
+    }
+    if (!exact.complete)
+    {
+        return fail("exact engine did not report a complete search");
+    }
+    if (exact.config != reference.config)
+    {
+        out << "exact engine found a different ground-state configuration than exhaustive ("
+            << canvas.size() << " dots)";
         return fail(out.str());
     }
-    if (heuristic.grand_potential < exact.grand_potential - 1e-9)
+    if (exact.grand_potential != reference.grand_potential)
     {
-        out << "heuristic energy " << heuristic.grand_potential
-            << " eV beats the exhaustive minimum " << exact.grand_potential
-            << " eV — the exact engine is not exact";
+        out << "exact engine energy " << exact.grand_potential
+            << " eV is not bit-identical to the exhaustive minimum " << reference.grand_potential
+            << " eV";
         return fail(out.str());
     }
-    if (heuristic.grand_potential > exact.grand_potential + tolerance_ev)
+    if (exact.degeneracy != reference.degeneracy)
     {
-        out << "simanneal missed the ground state: " << heuristic.grand_potential << " eV vs "
-            << exact.grand_potential << " eV exhaustive (" << canvas.size() << " dots)";
+        out << "exact engine degeneracy " << exact.degeneracy << " != exhaustive degeneracy "
+            << reference.degeneracy;
         return fail(out.str());
     }
-    return {};
+
+    // --- heuristic engines -------------------------------------------------
+    auto simanneal = phys::simulated_annealing(system, anneal_params);
+    if (fault == GroundStateFault::corrupt_anneal_config)
+    {
+        if (simanneal.config.empty())
+        {
+            return fail("corrupt_anneal_config needs a non-empty canvas");
+        }
+        simanneal.config[0] ^= 1U;
+    }
+    if (auto verdict = check_heuristic_ground_state("simanneal", system, reference, simanneal,
+                                                    tolerance_ev);
+        !verdict)
+    {
+        return verdict;
+    }
+
+    phys::QuickSimParameters quicksim_params;
+    quicksim_params.num_instances = anneal_params.num_instances;
+    quicksim_params.seed = anneal_params.seed;
+    quicksim_params.num_threads = anneal_params.num_threads;
+    auto quicksim = phys::quicksim_ground_state(system, quicksim_params);
+    if (fault == GroundStateFault::corrupt_quicksim_config)
+    {
+        if (quicksim.config.empty())
+        {
+            return fail("corrupt_quicksim_config needs a non-empty canvas");
+        }
+        quicksim.config[0] ^= 1U;
+    }
+    return check_heuristic_ground_state("quicksim", system, reference, quicksim, tolerance_ev);
 }
 
 namespace
@@ -305,35 +419,46 @@ std::pair<phys::ChargeConfig, double> naive_anneal_instance(const phys::SiDBSyst
     double temperature = params.initial_temperature;
     for (unsigned step = 0; step < params.steps_per_instance; ++step)
     {
+        // mirrors the production proposal loop exactly: an invalid hop is a
+        // rejected proposal (no fall-through to a flip, no acceptance draw)
         const bool do_hop = (rng() & 3U) == 0;
+        const std::size_t i = rng() % n;
+        std::size_t hop_to = n;
+        bool rejected = false;
         double delta = 0.0;
-        std::size_t i = rng() % n;
-        std::size_t j = n;
-        if (do_hop && config[i] != 0)
+        if (do_hop)
         {
-            j = rng() % n;
-            if (config[j] == 0 && j != i)
+            if (config[i] == 0)
             {
-                delta = system.local_potential(config, j) - system.local_potential(config, i) -
-                        system.potential(i, j);
+                rejected = true;
             }
             else
             {
-                j = n;
+                const std::size_t j = rng() % n;
+                if (config[j] == 0 && j != i)
+                {
+                    hop_to = j;
+                    delta = system.local_potential(config, j) - system.local_potential(config, i) -
+                            system.potential(i, j);
+                }
+                else
+                {
+                    rejected = true;
+                }
             }
         }
-        if (j == n)
+        else
         {
             const double v = system.local_potential(config, i);
             delta = config[i] == 0 ? (system.parameters().mu_minus + v)
                                    : -(system.parameters().mu_minus + v);
         }
-        if (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature))
+        if (!rejected && (delta <= 0.0 || uni(rng) < std::exp(-delta / temperature)))
         {
-            if (j != n)
+            if (hop_to != n)
             {
                 config[i] = 0;
-                config[j] = 1;
+                config[hop_to] = 1;
             }
             else
             {

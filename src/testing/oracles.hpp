@@ -6,8 +6,10 @@
 ///     model-checked against every clause, UNSAT answers carry a DRAT proof
 ///     certified by the independent backward checker and are additionally
 ///     refuted or confirmed by an exhaustive sweep (instances <= 20 vars).
-///  2. Simulated annealing vs. exhaustive ground states on small canvases
-///     (the exact-vs-heuristic split of the SiDB simulation literature).
+///  2. Ground-state engines vs. the exhaustive reference on small canvases:
+///     the population-bounded exact engine must be bit-identical, the
+///     heuristics (simanneal, quicksim) accurate within tolerance (the
+///     exact-vs-heuristic split of the SiDB simulation literature).
 ///  3. Exact vs. scalable placement & routing — both layouts must pass
 ///     SAT-based equivalence checking against the specification network.
 ///  4. Rewriting + technology mapping vs. the input network via random
@@ -77,19 +79,32 @@ struct SatOracleStats
                                              SatFault fault = SatFault::none,
                                              SatOracleStats* stats = nullptr);
 
-// --- 2. ground states: simanneal vs. exhaustive ----------------------------
+// --- 2. ground states: exact/simanneal/quicksim vs. exhaustive --------------
 
 enum class GroundStateFault : std::uint8_t
 {
     none,
-    corrupt_anneal_config,  ///< flip the charge of site 0 in the heuristic's answer
-    shift_exact_energy      ///< misreport the exhaustive minimum by +10 meV
+    corrupt_anneal_config,  ///< flip the charge of site 0 in simanneal's answer
+    shift_exact_energy,     ///< misreport the exhaustive minimum by +10 meV
+    /// Narrow the exact engine's population window so it prunes the true
+    /// ground state — models an unsound bound derivation.
+    shrink_exact_population_window,
+    corrupt_quicksim_config  ///< flip the charge of site 0 in quicksim's answer
 };
 
-/// Runs both ground-state engines on the canvas and checks that the
-/// heuristic's configuration (a) is physically valid, (b) never beats the
-/// exhaustive minimum, (c) reaches it within \p tolerance_ev, and (d) reports
-/// an energy consistent with its own configuration.
+/// Runs all four ground-state engines on the canvas with the legacy
+/// exhaustive branch-and-bound as the reference:
+///
+///  - the *exact* engine (population-bounded search) must report a complete
+///    search with a bit-identical configuration, grand potential and
+///    degeneracy count — it claims exactness, so any divergence is a bug;
+///  - each *heuristic* engine (simanneal with \p anneal_params, quicksim
+///    with the matching instance count/seed/threads) must return a
+///    physically valid configuration that (a) reports an energy consistent
+///    with itself, (b) never beats the exhaustive minimum, (c) reaches it
+///    within \p tolerance_ev, and (d) — when it does find the minimum —
+///    reports a distinct-configuration degeneracy that does not exceed the
+///    exhaustive engine's true count (the documented lower-bound contract).
 [[nodiscard]] OracleVerdict ground_state_differential(const std::vector<phys::SiDBSite>& canvas,
                                                       const phys::SimulationParameters& sim_params,
                                                       const phys::SimAnnealParameters& anneal_params,

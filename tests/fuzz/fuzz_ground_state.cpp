@@ -1,6 +1,7 @@
 /// \file fuzz_ground_state.cpp
-/// \brief Differential fuzzing of simulated annealing against the exhaustive
-///        ground-state engine on random small SiDB canvases.
+/// \brief Differential fuzzing of the ground-state engines (exact, simanneal,
+///        quicksim) against the exhaustive reference on random small SiDB
+///        canvases.
 
 #include "testing/oracles.hpp"
 #include "testing/random.hpp"
@@ -58,8 +59,8 @@ TEST(FuzzGroundState, SparseCanvasesAtTheSecondCalibrationPoint)
     }
 }
 
-/// Mutation coverage: corrupting the heuristic's configuration or the exact
-/// engine's reported minimum must both be detected.
+/// Mutation coverage: corrupting a heuristic's configuration, the reference
+/// minimum, or the exact engine's population window must all be detected.
 TEST(FuzzGroundState, OracleCatchesSeededMutations)
 {
     const std::vector<phys::SiDBSite> canvas{{0, 0, 0}, {4, 1, 0}, {8, 2, 1}};
@@ -74,7 +75,19 @@ TEST(FuzzGroundState, OracleCatchesSeededMutations)
         canvas, sim_params, anneal_for_fuzzing(0xbad5eed), 1e-6,
         testkit::GroundStateFault::shift_exact_energy);
     ASSERT_FALSE(shifted.ok) << "oracle missed a misreported exhaustive minimum";
-    EXPECT_NE(shifted.detail.find("not exact"), std::string::npos) << shifted.detail;
+    EXPECT_NE(shifted.detail.find("not bit-identical"), std::string::npos) << shifted.detail;
+
+    const auto shrunk = testkit::ground_state_differential(
+        canvas, sim_params, anneal_for_fuzzing(0xbad5eed), 1e-6,
+        testkit::GroundStateFault::shrink_exact_population_window);
+    ASSERT_FALSE(shrunk.ok) << "oracle missed an unsound exact-engine population window";
+    EXPECT_NE(shrunk.detail.find("exact engine"), std::string::npos) << shrunk.detail;
+
+    const auto quicksim = testkit::ground_state_differential(
+        canvas, sim_params, anneal_for_fuzzing(0xbad5eed), 1e-6,
+        testkit::GroundStateFault::corrupt_quicksim_config);
+    ASSERT_FALSE(quicksim.ok) << "oracle missed a corrupted quicksim configuration";
+    EXPECT_NE(quicksim.detail.find("quicksim"), std::string::npos) << quicksim.detail;
 }
 
 }  // namespace

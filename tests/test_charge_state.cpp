@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 namespace
@@ -145,6 +146,23 @@ TEST(ChargeState, StabilityChecksAgreeWithSystemChecks)
         EXPECT_EQ(state.population_stable(), system.population_stable(config)) << int(bits);
         EXPECT_EQ(state.configuration_stable(), system.configuration_stable(config)) << int(bits);
     }
+}
+
+TEST(ChargeState, SizeMismatchThrowsInsteadOfCorruptingTheCache)
+{
+    const SimulationParameters params{};
+    const SiDBSystem system{triangle_canvas(), params};
+    // adopting constructor: a config of the wrong length must be rejected in
+    // every build mode, not only under NDEBUG-off asserts
+    EXPECT_THROW((ChargeState{system, ChargeConfig{1, 0}}), std::invalid_argument);
+    EXPECT_THROW((ChargeState{system, ChargeConfig{1, 0, 1, 0}}), std::invalid_argument);
+
+    ChargeState state{system, ChargeConfig{1, 0, 1}};
+    EXPECT_THROW(state.assign(ChargeConfig{1}), std::invalid_argument);
+    EXPECT_THROW(state.assign(ChargeConfig{}), std::invalid_argument);
+    // the failed assign must leave the kernel untouched
+    EXPECT_EQ(state.config(), (ChargeConfig{1, 0, 1}));
+    EXPECT_EQ(state.num_charges(), 2U);
 }
 
 TEST(ChargeState, ToleranceKnobsLiveInSimulationParameters)

@@ -1,0 +1,450 @@
+/// \file test_ground_state_engines.cpp
+/// \brief Tier-1 coverage of the PR-6 ground-state engines: the
+///        population-bounded exact engine (bit-identical to exhaustive, far
+///        past its size ceiling), the QuickSim heuristic, the degeneracy
+///        lower bound of the stochastic engines, and the common
+///        engine-selection surface (SimulationParameters::engine /
+///        find_ground_state). Structure mirrors test_charge_state.cpp:
+///        edge cases first (n = 0, n = 1, forced populations, cancellation),
+///        then differential properties on random canvases.
+
+#include "core/run_control.hpp"
+#include "phys/exhaustive.hpp"
+#include "phys/ground_state.hpp"
+#include "phys/ground_state_exact.hpp"
+#include "phys/operational.hpp"
+#include "phys/quicksim.hpp"
+#include "phys/simanneal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <random>
+
+namespace
+{
+
+using namespace bestagon::phys;
+using bestagon::core::Deadline;
+using bestagon::core::RunBudget;
+using bestagon::core::StopSource;
+using bestagon::logic::TruthTable;
+
+/// A RunBudget whose token already requested a stop.
+RunBudget tripped_budget()
+{
+    static StopSource source;  // outlives the budgets handed out
+    source.request_stop();
+    return RunBudget{source.token(), {}};
+}
+
+std::vector<SiDBSite> random_sites(unsigned n, std::mt19937& rng)
+{
+    std::vector<SiDBSite> sites;
+    while (sites.size() < n)
+    {
+        const SiDBSite s{static_cast<int>(rng() % 20), static_cast<int>(rng() % 10),
+                         static_cast<int>(rng() % 2)};
+        if (std::find(sites.begin(), sites.end(), s) == sites.end())
+        {
+            sites.push_back(s);
+        }
+    }
+    return sites;
+}
+
+/// Dense random canvas in a box scaling with sqrt(n) — past ~36 sites the
+/// exhaustive engine's energy-only pruning stops converging in reasonable
+/// time while the population window still collapses the search.
+std::vector<SiDBSite> dense_canvas(std::size_t n, std::uint64_t salt)
+{
+    std::mt19937_64 rng{0xca11'ab1eULL + salt};
+    const int cols = static_cast<int>(8 * std::sqrt(static_cast<double>(n)));
+    const int rows = static_cast<int>(4 * std::sqrt(static_cast<double>(n)));
+    std::vector<SiDBSite> sites;
+    while (sites.size() < n)
+    {
+        const SiDBSite s{static_cast<int>(rng() % static_cast<unsigned>(cols)),
+                         static_cast<int>(rng() % static_cast<unsigned>(rows)),
+                         static_cast<int>(rng() % 2)};
+        if (std::find(sites.begin(), sites.end(), s) == sites.end())
+        {
+            sites.push_back(s);
+        }
+    }
+    return sites;
+}
+
+/// The validated vertical BDL wire (tile-local coordinates), as in
+/// test_operational.cpp — the smallest member of the Bestagon gate set.
+GateDesign vertical_wire()
+{
+    GateDesign d;
+    d.name = "wire";
+    for (int k = 0; k < 6; ++k)
+    {
+        const int m = 1 + 4 * k;
+        d.sites.push_back({15, m, 0});
+        d.sites.push_back({15, m + 1, 0});
+    }
+    d.input_pairs.push_back({{15, 1, 0}, {15, 2, 0}});
+    d.output_pairs.push_back({{15, 21, 0}, {15, 22, 0}});
+    d.drivers.push_back({{15, -3, 0}, {15, -2, 0}});
+    d.output_perturbers.push_back({15, 25, 1});
+    d.functions.push_back(TruthTable::from_binary("10"));
+    return d;
+}
+
+// --- exact engine -----------------------------------------------------------
+
+TEST(ExactEngine, EmptySystem)
+{
+    const SiDBSystem sys{{}, SimulationParameters{}};
+    const auto gs = exact_ground_state(sys);
+    EXPECT_TRUE(gs.complete);
+    EXPECT_FALSE(gs.cancelled);
+    EXPECT_TRUE(gs.config.empty());
+    EXPECT_EQ(gs.grand_potential, 0.0);
+    EXPECT_EQ(gs.degeneracy, 1U);
+}
+
+TEST(ExactEngine, SingleSite)
+{
+    SimulationParameters p;
+    p.mu_minus = -0.32;
+    const SiDBSystem sys{{{0, 0, 0}}, p};
+    const auto gs = exact_ground_state(sys);
+    EXPECT_TRUE(gs.complete);
+    EXPECT_EQ(gs.config, (ChargeConfig{1}));
+    EXPECT_NEAR(gs.grand_potential, -0.32, 1e-12);
+    EXPECT_EQ(gs.degeneracy, 1U);
+}
+
+/// The tentpole contract: identical configuration, bit-identical energy and
+/// identical degeneracy count vs. the legacy exhaustive engine, at both of
+/// the paper's operating points.
+TEST(ExactEngine, BitIdenticalToExhaustiveOnRandomCanvases)
+{
+    std::mt19937 rng{424242};
+    for (const double mu : {-0.32, -0.28})
+    {
+        SimulationParameters p;
+        p.mu_minus = mu;
+        for (int iter = 0; iter < 15; ++iter)
+        {
+            const auto sites = random_sites(4 + rng() % 9, rng);
+            const SiDBSystem sys{sites, p};
+            const auto reference = exhaustive_ground_state(sys);
+            const auto exact = exact_ground_state(sys);
+            ASSERT_TRUE(reference.complete);
+            ASSERT_TRUE(exact.complete);
+            EXPECT_EQ(exact.config, reference.config) << "mu " << mu << " iter " << iter;
+            EXPECT_EQ(exact.grand_potential, reference.grand_potential)
+                << "mu " << mu << " iter " << iter;
+            EXPECT_EQ(exact.degeneracy, reference.degeneracy) << "mu " << mu << " iter " << iter;
+        }
+    }
+}
+
+/// Window soundness: every population-stable configuration respects the
+/// forced site statuses and the population bounds (checked by brute-force
+/// enumeration on small canvases).
+TEST(ExactEngine, PopulationWindowIsSoundOnSmallCanvases)
+{
+    std::mt19937 rng{55555};
+    SimulationParameters p;
+    p.mu_minus = -0.32;
+    for (int iter = 0; iter < 20; ++iter)
+    {
+        const auto sites = random_sites(3 + rng() % 8, rng);
+        const SiDBSystem sys{sites, p};
+        const auto window = compute_population_window(sys);
+        const std::size_t n = sys.size();
+        ASSERT_EQ(window.status.size(), n);
+        ASSERT_LE(window.min_charges, window.max_charges);
+        for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask)
+        {
+            ChargeConfig cfg(n, 0);
+            std::size_t charges = 0;
+            for (std::size_t i = 0; i < n; ++i)
+            {
+                cfg[i] = ((mask >> i) & 1ULL) != 0 ? 1 : 0;
+                charges += cfg[i];
+            }
+            if (!sys.population_stable(cfg))
+            {
+                continue;
+            }
+            EXPECT_GE(charges, window.min_charges) << "iter " << iter << " mask " << mask;
+            EXPECT_LE(charges, window.max_charges) << "iter " << iter << " mask " << mask;
+            for (std::size_t i = 0; i < n; ++i)
+            {
+                if (window.status[i] == site_forced_negative)
+                {
+                    EXPECT_EQ(cfg[i], 1) << "iter " << iter << " mask " << mask << " site " << i;
+                }
+                else if (window.status[i] == site_forced_neutral)
+                {
+                    EXPECT_EQ(cfg[i], 0) << "iter " << iter << " mask " << mask << " site " << i;
+                }
+            }
+        }
+    }
+}
+
+/// Isolated far-apart sites are all forced negative: the window collapses to
+/// a single population and the search space to a single configuration, so a
+/// 45-site canvas (far past the exhaustive ceiling) is instant.
+TEST(ExactEngine, AllSitesForcedNegative)
+{
+    std::vector<SiDBSite> sites;
+    for (int k = 0; k < 45; ++k)
+    {
+        sites.push_back({40 * k, 0, 0});  // ~15 nm apart: negligible coupling
+    }
+    const SiDBSystem sys{sites, SimulationParameters{}};
+    const auto window = compute_population_window(sys);
+    EXPECT_EQ(window.min_charges, 45U);
+    EXPECT_EQ(window.max_charges, 45U);
+    for (const auto status : window.status)
+    {
+        EXPECT_EQ(status, site_forced_negative);
+    }
+    const auto gs = exact_ground_state(sys);
+    EXPECT_TRUE(gs.complete);
+    EXPECT_EQ(gs.config, ChargeConfig(45, 1));
+    EXPECT_EQ(gs.degeneracy, 1U);
+}
+
+TEST(ExactEngine, CancelledMidSearch)
+{
+    const SiDBSystem sys{dense_canvas(40, 4), SimulationParameters{}};
+    const auto gs = exact_ground_state(sys, tripped_budget());
+    EXPECT_FALSE(gs.complete);
+    EXPECT_TRUE(gs.cancelled);
+    // the quenched seed keeps the partial result physically valid
+    ASSERT_EQ(gs.config.size(), sys.size());
+    EXPECT_TRUE(sys.physically_valid(gs.config));
+}
+
+/// The headline separation: a dense 40-site canvas the exact engine finishes
+/// but the exhaustive engine cannot within the same wall-clock budget. The
+/// budget is calibrated from the exact engine's measured completion time, so
+/// the assertion holds across build configurations (Release, ASan, ...).
+TEST(ExactEngine, CompletesWhereExhaustiveExhaustsBudget)
+{
+    const SiDBSystem sys{dense_canvas(40, 4), SimulationParameters{}};
+
+    const auto start = std::chrono::steady_clock::now();
+    const auto exact = exact_ground_state(sys);
+    const auto exact_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+    ASSERT_TRUE(exact.complete);
+    EXPECT_TRUE(sys.physically_valid(exact.config));
+
+    // the exhaustive engine gets twice the budget the exact engine needed
+    // (locally it needs over 15x — the margin absorbs scheduler noise)
+    const auto budget_ms = std::max<std::int64_t>(2 * exact_ms, 200);
+    const RunBudget budget{{}, Deadline::in_ms(budget_ms)};
+    const auto exhaustive = exhaustive_ground_state(sys, budget);
+    EXPECT_FALSE(exhaustive.complete);
+    EXPECT_TRUE(exhaustive.cancelled);
+    // the budgeted best-so-far never beats the certified minimum
+    EXPECT_GE(exhaustive.grand_potential, exact.grand_potential - 1e-9);
+}
+
+// --- quicksim ---------------------------------------------------------------
+
+TEST(QuickSim, EmptySystem)
+{
+    const SiDBSystem sys{{}, SimulationParameters{}};
+    const auto gs = quicksim_ground_state(sys);
+    EXPECT_EQ(gs.grand_potential, 0.0);
+    EXPECT_TRUE(gs.config.empty());
+    EXPECT_FALSE(gs.complete);
+}
+
+TEST(QuickSim, SingleSite)
+{
+    SimulationParameters p;
+    p.mu_minus = -0.32;
+    const SiDBSystem sys{{{0, 0, 0}}, p};
+    const auto gs = quicksim_ground_state(sys);
+    EXPECT_EQ(gs.config, (ChargeConfig{1}));
+    EXPECT_NEAR(gs.grand_potential, -0.32, 1e-12);
+    EXPECT_FALSE(gs.complete);
+}
+
+TEST(QuickSim, ZeroInstances)
+{
+    QuickSimParameters qp;
+    qp.num_instances = 0;
+    const SiDBSystem sys{{{0, 0, 0}, {4, 2, 0}}, SimulationParameters{}};
+    const auto gs = quicksim_ground_state(sys, qp);
+    EXPECT_TRUE(gs.config.empty());
+    EXPECT_EQ(gs.grand_potential, std::numeric_limits<double>::infinity());
+    EXPECT_EQ(gs.electrostatic, 0.0);
+}
+
+TEST(QuickSim, FindsGroundStateOfSmallSystems)
+{
+    std::mt19937 rng{2718};
+    SimulationParameters p;
+    p.mu_minus = -0.32;
+    for (int iter = 0; iter < 10; ++iter)
+    {
+        const auto sites = random_sites(5 + rng() % 5, rng);
+        const SiDBSystem sys{sites, p};
+        const auto exact = exact_ground_state(sys);
+        QuickSimParameters qp;
+        qp.seed = 3000 + static_cast<std::uint64_t>(iter);
+        const auto heuristic = quicksim_ground_state(sys, qp);
+        EXPECT_TRUE(sys.physically_valid(heuristic.config));
+        EXPECT_NEAR(heuristic.grand_potential, exact.grand_potential, 1e-9) << "iter " << iter;
+        EXPECT_FALSE(heuristic.complete);
+    }
+}
+
+TEST(QuickSim, ThreadCountInvariance)
+{
+    SimulationParameters p;
+    p.mu_minus = -0.28;
+    std::mt19937 rng{99};
+    const SiDBSystem sys{random_sites(9, rng), p};
+    QuickSimParameters serial;
+    serial.num_threads = 1;
+    QuickSimParameters parallel;
+    parallel.num_threads = 4;
+    const auto a = quicksim_ground_state(sys, serial);
+    const auto b = quicksim_ground_state(sys, parallel);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.grand_potential, b.grand_potential);
+    EXPECT_EQ(a.degeneracy, b.degeneracy);
+}
+
+TEST(QuickSim, CancelledMidSearch)
+{
+    const SiDBSystem sys{dense_canvas(30, 1), SimulationParameters{}};
+    const auto gs = quicksim_ground_state(sys, {}, tripped_budget());
+    EXPECT_TRUE(gs.cancelled);
+    EXPECT_FALSE(gs.complete);
+}
+
+// --- stochastic degeneracy lower bound --------------------------------------
+
+/// A bistable BDL pair has true degeneracy 2; every instance of a stochastic
+/// engine lands on one of the two minima, so the distinct-configuration
+/// count must reach exactly 2 (the hardcoded-1 regression) and never exceed
+/// the exhaustive count.
+TEST(SimAnneal, DegeneracyIsDistinctConfigurationLowerBound)
+{
+    SimulationParameters p;
+    p.mu_minus = -0.32;
+    const SiDBSystem sys{{{0, 0, 0}, {1, 0, 0}}, p};
+    const auto reference = exhaustive_ground_state(sys);
+    ASSERT_EQ(reference.degeneracy, 2U);
+
+    const auto annealed = simulated_annealing(sys);
+    EXPECT_NEAR(annealed.grand_potential, reference.grand_potential, 1e-9);
+    EXPECT_EQ(annealed.degeneracy, 2U);  // 16 instances: both minima visited
+
+    // quicksim's deterministic physics-informed seeding can steer every
+    // instance to the same minimum: a lower bound, never an overcount
+    const auto quicksim = quicksim_ground_state(sys);
+    EXPECT_NEAR(quicksim.grand_potential, reference.grand_potential, 1e-9);
+    EXPECT_GE(quicksim.degeneracy, 1U);
+    EXPECT_LE(quicksim.degeneracy, reference.degeneracy);
+}
+
+// --- engine selection surface -----------------------------------------------
+
+TEST(EngineSelection, ResolveEngine)
+{
+    SimulationParameters p;  // default: Engine::exact
+    EXPECT_EQ(resolve_engine(Engine::automatic, p), Engine::exact);
+    EXPECT_EQ(resolve_engine(Engine::exhaustive, p), Engine::exhaustive);
+    EXPECT_EQ(resolve_engine(Engine::simanneal, p), Engine::simanneal);
+
+    p.engine = Engine::quicksim;
+    EXPECT_EQ(resolve_engine(Engine::automatic, p), Engine::quicksim);
+    EXPECT_EQ(resolve_engine(Engine::exact, p), Engine::exact);  // explicit wins
+
+    p.engine = Engine::automatic;  // never-set guard falls back to the default
+    EXPECT_EQ(resolve_engine(Engine::automatic, p), Engine::exact);
+
+    EXPECT_TRUE(stochastic_engine(Engine::simanneal));
+    EXPECT_TRUE(stochastic_engine(Engine::quicksim));
+    EXPECT_FALSE(stochastic_engine(Engine::exhaustive));
+    EXPECT_FALSE(stochastic_engine(Engine::exact));
+}
+
+/// find_ground_state must dispatch to the very engine entry points, with the
+/// stochastic engines seeded from SimulationParameters::anneal_seed.
+TEST(EngineSelection, FindGroundStateMatchesDirectEngineCalls)
+{
+    std::mt19937 rng{7777};
+    SimulationParameters p;
+    p.mu_minus = -0.32;
+    const SiDBSystem sys{random_sites(8, rng), p};
+
+    const auto exact = find_ground_state(sys);  // default: automatic -> exact
+    const auto exact_direct = exact_ground_state(sys);
+    EXPECT_EQ(exact.config, exact_direct.config);
+    EXPECT_EQ(exact.grand_potential, exact_direct.grand_potential);
+    EXPECT_EQ(exact.degeneracy, exact_direct.degeneracy);
+    EXPECT_TRUE(exact.complete);
+
+    const auto exhaustive = find_ground_state(sys, Engine::exhaustive);
+    const auto exhaustive_direct = exhaustive_ground_state(sys);
+    EXPECT_EQ(exhaustive.config, exhaustive_direct.config);
+    EXPECT_EQ(exhaustive.grand_potential, exhaustive_direct.grand_potential);
+
+    SimAnnealParameters sp;
+    sp.num_threads = p.num_threads;
+    sp.seed = p.anneal_seed;
+    const auto annealed = find_ground_state(sys, Engine::simanneal);
+    const auto annealed_direct = simulated_annealing(sys, sp);
+    EXPECT_EQ(annealed.config, annealed_direct.config);
+    EXPECT_EQ(annealed.grand_potential, annealed_direct.grand_potential);
+
+    QuickSimParameters qp;
+    qp.num_threads = p.num_threads;
+    qp.seed = p.anneal_seed;
+    const auto quick = find_ground_state(sys, Engine::quicksim);
+    const auto quick_direct = quicksim_ground_state(sys, qp);
+    EXPECT_EQ(quick.config, quick_direct.config);
+    EXPECT_EQ(quick.grand_potential, quick_direct.grand_potential);
+}
+
+/// The default-engine change must not move any operational verdict: the
+/// default (automatic -> exact) check must reproduce the exhaustive check's
+/// verdicts AND per-pattern ground states exactly on a Bestagon tile.
+TEST(EngineSelection, CheckOperationalDefaultMatchesExhaustive)
+{
+    const auto design = vertical_wire();
+    for (const double mu : {-0.32, -0.28})
+    {
+        SimulationParameters p;
+        p.mu_minus = mu;
+        const auto via_default = check_operational(design, p);
+        const auto via_exhaustive = check_operational(design, p, Engine::exhaustive);
+        EXPECT_TRUE(via_default.operational);
+        EXPECT_EQ(via_default.operational, via_exhaustive.operational);
+        EXPECT_EQ(via_default.patterns_correct, via_exhaustive.patterns_correct);
+        ASSERT_EQ(via_default.details.size(), via_exhaustive.details.size());
+        for (std::size_t i = 0; i < via_default.details.size(); ++i)
+        {
+            EXPECT_EQ(via_default.details[i].ground_state.config,
+                      via_exhaustive.details[i].ground_state.config);
+            EXPECT_EQ(via_default.details[i].ground_state.grand_potential,
+                      via_exhaustive.details[i].ground_state.grand_potential);
+            EXPECT_EQ(via_default.details[i].correct, via_exhaustive.details[i].correct);
+        }
+    }
+}
+
+}  // namespace

@@ -59,7 +59,7 @@ void expect_identical(const OperationalResult& a, const OperationalResult& b)
 TEST(ParallelDeterminism, CheckOperationalMatchesSerial)
 {
     const auto design = vertical_wire();
-    for (const auto engine : {Engine::exhaustive, Engine::simanneal})
+    for (const auto engine : {Engine::exhaustive, Engine::simanneal, Engine::quicksim, Engine::exact})
     {
         SimulationParameters serial;
         serial.num_threads = 1;
