@@ -1,0 +1,219 @@
+/// \file bench_sat.cpp
+/// \brief SAT engine benchmarks (results: BENCH_sat.json).
+///
+/// Three questions, mirroring DESIGN.md section 11:
+///  1. SatRandom3Sat{Legacy,Arena,Preprocessed}/vars:n — one full solve of a
+///     seeded random 3-SAT instance near the phase transition, per engine:
+///     the frozen pre-arena solver (bench's regression baseline), the
+///     modernized arena solver, and the arena solver behind the
+///     BVE+subsumption preprocessing backend. Same instance per size across
+///     all three.
+///  2. SatPigeonhole{Legacy,Arena,Preprocessed} — PHP(8,7), the
+///     resolution-hard UNSAT workload that stresses learnt-clause reduction
+///     and (for the arena) garbage collection.
+///  3. ExactPhysicalDesign{Internal,Preprocessed} — the full exact P&R flow
+///     on the mapped mux21 benchmark with ExactPDOptions::sat_backend forced
+///     to each kind; this is the production-shaped instance mix (many small
+///     incremental solves) the preprocessor must not regress.
+
+#include "layout/exact_physical_design.hpp"
+#include "logic/benchmarks.hpp"
+#include "logic/rewriting.hpp"
+#include "logic/tech_mapping.hpp"
+#include "sat/backend.hpp"
+#include "sat/solver.hpp"
+#include "testing/legacy_solver.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace
+{
+
+using namespace bestagon;
+
+/// Seeded uniform 3-SAT at ratio 4.2 (clause literals may repeat variables,
+/// matching the historical BM_SatRandom3Sat generator so numbers stay
+/// comparable across PRs).
+std::vector<std::vector<sat::Lit>> random_3sat(int num_vars)
+{
+    const int num_clauses = num_vars * 42 / 10;
+    std::mt19937 rng{12345};
+    std::vector<std::vector<sat::Lit>> clauses;
+    clauses.reserve(static_cast<std::size_t>(num_clauses));
+    for (int i = 0; i < num_clauses; ++i)
+    {
+        std::vector<sat::Lit> clause;
+        for (int j = 0; j < 3; ++j)
+        {
+            const auto v = static_cast<sat::Var>(rng() % static_cast<unsigned>(num_vars));
+            clause.push_back(sat::Lit{v, (rng() & 1U) != 0});
+        }
+        clauses.push_back(std::move(clause));
+    }
+    return clauses;
+}
+
+/// PHP(pigeons, holes): UNSAT and exponentially hard for resolution.
+std::vector<std::vector<sat::Lit>> php(int pigeons, int holes)
+{
+    const auto var = [&](int p, int h) { return sat::Var{p * holes + h}; };
+    std::vector<std::vector<sat::Lit>> clauses;
+    for (int p = 0; p < pigeons; ++p)
+    {
+        std::vector<sat::Lit> somewhere;
+        for (int h = 0; h < holes; ++h)
+        {
+            somewhere.push_back(sat::pos(var(p, h)));
+        }
+        clauses.push_back(std::move(somewhere));
+    }
+    for (int h = 0; h < holes; ++h)
+    {
+        for (int p = 0; p < pigeons; ++p)
+        {
+            for (int q = p + 1; q < pigeons; ++q)
+            {
+                clauses.push_back({sat::neg(var(p, h)), sat::neg(var(q, h))});
+            }
+        }
+    }
+    return clauses;
+}
+
+template <typename SolverT>
+void load(SolverT& solver, int num_vars, const std::vector<std::vector<sat::Lit>>& clauses)
+{
+    for (int i = 0; i < num_vars; ++i)
+    {
+        solver.new_var();
+    }
+    for (const auto& clause : clauses)
+    {
+        solver.add_clause(clause);
+    }
+}
+
+void solve_legacy(benchmark::State& state, int num_vars,
+                  const std::vector<std::vector<sat::Lit>>& clauses)
+{
+    for (auto _ : state)
+    {
+        state.PauseTiming();
+        testkit::legacy::Solver solver;
+        load(solver, num_vars, clauses);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+
+void solve_arena(benchmark::State& state, int num_vars,
+                 const std::vector<std::vector<sat::Lit>>& clauses)
+{
+    for (auto _ : state)
+    {
+        state.PauseTiming();
+        sat::Solver solver;
+        load(solver, num_vars, clauses);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(solver.solve());
+    }
+}
+
+void solve_preprocessed(benchmark::State& state, int num_vars,
+                        const std::vector<std::vector<sat::Lit>>& clauses)
+{
+    for (auto _ : state)
+    {
+        state.PauseTiming();
+        // force the pass even below the adaptive size threshold — this lane
+        // measures what preprocessing itself costs and saves
+        sat::PreprocessorOptions options;
+        options.backend_min_clauses = 0;
+        sat::PreprocessingBackend backend{options};
+        load(backend, num_vars, clauses);
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(backend.solve());
+    }
+}
+
+void BM_SatRandom3SatLegacy(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    solve_legacy(state, n, random_3sat(n));
+}
+BENCHMARK(BM_SatRandom3SatLegacy)->Arg(40)->Arg(80)->Arg(120)->ArgName("vars");
+
+void BM_SatRandom3SatArena(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    solve_arena(state, n, random_3sat(n));
+}
+BENCHMARK(BM_SatRandom3SatArena)->Arg(40)->Arg(80)->Arg(120)->ArgName("vars");
+
+void BM_SatRandom3SatPreprocessed(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    solve_preprocessed(state, n, random_3sat(n));
+}
+BENCHMARK(BM_SatRandom3SatPreprocessed)->Arg(40)->Arg(80)->Arg(120)->ArgName("vars");
+
+void BM_SatPigeonholeLegacy(benchmark::State& state)
+{
+    solve_legacy(state, 8 * 7, php(8, 7));
+}
+BENCHMARK(BM_SatPigeonholeLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_SatPigeonholeArena(benchmark::State& state)
+{
+    solve_arena(state, 8 * 7, php(8, 7));
+}
+BENCHMARK(BM_SatPigeonholeArena)->Unit(benchmark::kMillisecond);
+
+void BM_SatPigeonholePreprocessed(benchmark::State& state)
+{
+    solve_preprocessed(state, 8 * 7, php(8, 7));
+}
+BENCHMARK(BM_SatPigeonholePreprocessed)->Unit(benchmark::kMillisecond);
+
+const logic::LogicNetwork& mapped_mux21()
+{
+    static const logic::LogicNetwork net = [] {
+        logic::NpnDatabase db;
+        return logic::map_to_bestagon(
+            logic::rewrite(logic::to_xag(logic::find_benchmark("mux21")->build()), db));
+    }();
+    return net;
+}
+
+void exact_pd_with(benchmark::State& state, sat::BackendKind kind)
+{
+    const auto& net = mapped_mux21();
+    layout::ExactPDOptions options;
+    options.sat_backend.kind = kind;
+    bool placed = false;
+    for (auto _ : state)
+    {
+        const auto result = layout::exact_physical_design(net, options);
+        placed = result.has_value();
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["placed"] = placed ? 1.0 : 0.0;
+}
+
+void BM_ExactPhysicalDesignInternal(benchmark::State& state)
+{
+    exact_pd_with(state, sat::BackendKind::internal);
+}
+BENCHMARK(BM_ExactPhysicalDesignInternal)->Unit(benchmark::kMillisecond);
+
+void BM_ExactPhysicalDesignPreprocessed(benchmark::State& state)
+{
+    exact_pd_with(state, sat::BackendKind::internal_preprocessed);
+}
+BENCHMARK(BM_ExactPhysicalDesignPreprocessed)->Unit(benchmark::kMillisecond);
+
+}  // namespace

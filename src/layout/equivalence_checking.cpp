@@ -1,8 +1,9 @@
 #include "layout/equivalence_checking.hpp"
 
 #include "sat/encodings.hpp"
-#include "sat/solver.hpp"
+#include "sat/backend.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -16,10 +17,10 @@ namespace
 using logic::GateType;
 using logic::LogicNetwork;
 using sat::Lit;
-using sat::Solver;
+using sat::SatBackend;
 
 /// Tseitin-encodes a network over the given PI literals; returns PO literals.
-std::vector<Lit> encode_network(Solver& solver, const LogicNetwork& net, const std::vector<Lit>& pi_lits)
+std::vector<Lit> encode_network(SatBackend& solver, const LogicNetwork& net, const std::vector<Lit>& pi_lits)
 {
     std::unordered_map<LogicNetwork::NodeId, Lit> lit_of;
     unsigned pi_index = 0;
@@ -99,7 +100,10 @@ EquivalenceResult check_equivalence(const LogicNetwork& spec, const LogicNetwork
         return EquivalenceResult::unknown;
     }
 
-    Solver solver;
+    // equivalence checking defaults to the plain internal solver; the miter
+    // is shallow and BESTAGON_SAT_BACKEND can still re-route it
+    const auto backend = sat::make_sat_backend({}, sat::BackendKind::internal);
+    auto& solver = *backend;
     solver.set_stop_token(run.token);
     solver.set_deadline(run.deadline);
     std::vector<Lit> pis;

@@ -4,13 +4,14 @@
 #include "sat/encodings.hpp"
 #include "sat/proof.hpp"
 #include "sat/proof_check.hpp"
-#include "sat/solver.hpp"
+#include "sat/backend.hpp"
 
 #include <algorithm>
 #include <array>
 #include <cassert>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <vector>
@@ -82,15 +83,22 @@ constexpr std::array<const char*, 4> group_names{"placement", "exclusivity", "ro
 class SizeEncoding
 {
   public:
-    SizeEncoding(const LogicNetwork& network, unsigned w, unsigned h, bool with_groups = false)
+    SizeEncoding(const LogicNetwork& network, unsigned w, unsigned h,
+                 const sat::BackendSelection& backend = {}, bool with_groups = false)
         : network_{network}, w_{w}, h_{h}, levels_{node_levels(network)},
-          depths_{node_depths_to_po(network)}, with_groups_{with_groups}
+          depths_{node_depths_to_po(network)}, with_groups_{with_groups},
+          // BVE/subsumption resolve clauses across guard groups, which keeps
+          // verdicts sound but inflates assumption cores — so the diagnosis
+          // encoding defaults to the plain solver for tight refuting groups
+          solver_{sat::make_sat_backend(backend, with_groups
+                                                     ? sat::BackendKind::internal
+                                                     : sat::BackendKind::internal_preprocessed)}
     {
         if (with_groups_)
         {
             for (auto& g : group_guards_)
             {
-                g = sat::pos(solver_.new_var());
+                g = sat::pos(solver_->new_var());
             }
         }
         build();
@@ -111,28 +119,29 @@ class SizeEncoding
             return std::nullopt;
         }
         sat::MemoryProofTracer tracer;
-        if (certify)
+        const bool can_certify = certify && solver_->supports_proof_tracing();
+        if (can_certify)
         {
-            solver_.set_proof_tracer(&tracer);
+            solver_->set_proof_tracer(&tracer);
         }
-        solver_.set_conflict_budget(conflict_budget);
-        solver_.set_time_budget_ms(time_budget_ms);
-        solver_.set_stop_token(run.token);
-        solver_.set_deadline(run.deadline);
-        const auto result = solver_.solve();
-        solver_.set_proof_tracer(nullptr);
+        solver_->set_conflict_budget(conflict_budget);
+        solver_->set_time_budget_ms(time_budget_ms);
+        solver_->set_stop_token(run.token);
+        solver_->set_deadline(run.deadline);
+        const auto result = solver_->solve();
+        solver_->set_proof_tracer(nullptr);
         if (conflicts != nullptr)
         {
-            *conflicts += solver_.stats().conflicts;
+            *conflicts += solver_->stats().conflicts;
         }
         if (result == sat::Result::unknown && budget_hit != nullptr)
         {
             *budget_hit = true;
         }
-        if (certify && stats != nullptr && result == sat::Result::unsatisfiable)
+        if (can_certify && stats != nullptr && result == sat::Result::unsatisfiable)
         {
             const auto check =
-                sat::check_drat_proof(sat::to_cnf(solver_.root_clauses()), tracer.proof());
+                sat::check_drat_proof(sat::to_cnf(solver_->root_clauses()), tracer.proof());
             if (check.valid)
             {
                 ++stats->proofs_checked;
@@ -161,15 +170,15 @@ class SizeEncoding
         {
             return std::vector<std::string>{"clocking"};
         }
-        solver_.set_conflict_budget(conflict_budget);
-        solver_.set_time_budget_ms(time_budget_ms);
+        solver_->set_conflict_budget(conflict_budget);
+        solver_->set_time_budget_ms(time_budget_ms);
         std::vector<Lit> assumptions(group_guards_.begin(), group_guards_.end());
-        if (solver_.solve(assumptions) != sat::Result::unsatisfiable)
+        if (solver_->solve(assumptions) != sat::Result::unsatisfiable)
         {
             return std::nullopt;
         }
         std::vector<std::string> names;
-        for (const auto l : solver_.final_conflict())
+        for (const auto l : solver_->final_conflict())
         {
             for (std::size_t g = 0; g < group_guards_.size(); ++g)
             {
@@ -251,12 +260,12 @@ class SizeEncoding
                 for (unsigned x = 0; x < w_; ++x)
                 {
                     const HexCoord t{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)};
-                    const auto var = solver_.new_var();
+                    const auto var = solver_->new_var();
                     place_[{v, t}] = sat::pos(var);
                     options.push_back(sat::pos(var));
                 }
             }
-            sat::add_exactly_one(solver_, options, guard_of(grp_placement));
+            sat::add_exactly_one(*solver_, options, guard_of(grp_placement));
         }
 
         // at most one node per tile
@@ -273,7 +282,7 @@ class SizeEncoding
                         here.push_back(it->second);
                     }
                 }
-                sat::add_at_most_one(solver_, here, guard_of(grp_exclusivity));
+                sat::add_at_most_one(*solver_, here, guard_of(grp_exclusivity));
             }
         }
 
@@ -292,7 +301,7 @@ class SizeEncoding
                 for (unsigned x = 0; x < w_; ++x)
                 {
                     const HexCoord t{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)};
-                    wire_[{e, t}] = sat::pos(solver_.new_var());
+                    wire_[{e, t}] = sat::pos(solver_->new_var());
                 }
             }
             // arcs from rows [ulo, vhi-1]
@@ -305,7 +314,7 @@ class SizeEncoding
                     {
                         if (in_bounds(t2))
                         {
-                            arc_[{e, t, t2}] = sat::pos(solver_.new_var());
+                            arc_[{e, t, t2}] = sat::pos(solver_->new_var());
                         }
                     }
                 }
@@ -354,8 +363,8 @@ class SizeEncoding
                     {
                         require_one_of(grp_routing, *pv, incoming);
                     }
-                    sat::add_at_most_one(solver_, outgoing, guard_of(grp_routing));
-                    sat::add_at_most_one(solver_, incoming, guard_of(grp_routing));
+                    sat::add_at_most_one(*solver_, outgoing, guard_of(grp_routing));
+                    sat::add_at_most_one(*solver_, incoming, guard_of(grp_routing));
                 }
             }
 
@@ -403,7 +412,7 @@ class SizeEncoding
             for (const auto& [arc, lits] : by_arc)
             {
                 static_cast<void>(arc);
-                sat::add_at_most_one(solver_, lits, guard_of(grp_capacity));
+                sat::add_at_most_one(*solver_, lits, guard_of(grp_capacity));
             }
         }
 
@@ -463,7 +472,7 @@ class SizeEncoding
         {
             clause.push_back(~group_guards_[group]);
         }
-        solver_.add_clause(std::move(clause));
+        solver_->add_clause(std::move(clause));
     }
 
     /// trigger -> at least one of options (the AMO part is added separately).
@@ -482,7 +491,7 @@ class SizeEncoding
         std::map<NodeId, HexCoord> position;
         for (const auto& [k, lit] : place_)
         {
-            if (solver_.model_value(lit))
+            if (solver_->model_value(lit))
             {
                 position[k.first] = k.second;
             }
@@ -503,7 +512,7 @@ class SizeEncoding
         std::map<std::pair<std::size_t, std::pair<int, int>>, Occupant> wires;
         for (const auto& [k, lit] : wire_)
         {
-            if (solver_.model_value(lit))
+            if (solver_->model_value(lit))
             {
                 Occupant occ;
                 occ.type = GateType::buf;
@@ -535,7 +544,7 @@ class SizeEncoding
 
         for (const auto& [k, lit] : arc_)
         {
-            if (!solver_.model_value(lit))
+            if (!solver_->model_value(lit))
             {
                 continue;
             }
@@ -599,7 +608,7 @@ class SizeEncoding
     bool with_groups_{false};
     std::array<Lit, group_names.size()> group_guards_{};
 
-    sat::Solver solver_;
+    std::unique_ptr<sat::SatBackend> solver_;
     std::map<std::pair<NodeId, HexCoord>, Lit> place_;
     std::map<std::pair<std::size_t, HexCoord>, Lit> wire_;
     std::map<std::tuple<std::size_t, HexCoord, HexCoord>, Lit> arc_;
@@ -675,7 +684,7 @@ std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& 
         {
             ++stats->sizes_tried;
         }
-        SizeEncoding encoding{network, w, h};
+        SizeEncoding encoding{network, w, h, options.sat_backend};
         bool budget_hit = false;
         std::uint64_t conflicts = 0;
         auto layout = encoding.solve(options.conflicts_per_size, remaining, &conflicts, &budget_hit,
@@ -716,7 +725,7 @@ std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& 
         if (remaining > 0)
         {
             const auto [w, h] = sizes.back();  // the most permissive aspect ratio
-            SizeEncoding diagnosis{network, w, h, /*with_groups=*/true};
+            SizeEncoding diagnosis{network, w, h, options.sat_backend, /*with_groups=*/true};
             if (auto groups = diagnosis.refuting_groups(options.conflicts_per_size, remaining);
                 groups.has_value())
             {

@@ -4,9 +4,10 @@
 #include "sat/encodings.hpp"
 #include "sat/proof.hpp"
 #include "sat/proof_check.hpp"
-#include "sat/solver.hpp"
+#include "sat/backend.hpp"
 
 #include <cassert>
+#include <memory>
 #include <vector>
 
 namespace bestagon::logic
@@ -17,7 +18,7 @@ namespace
 
 using sat::Lit;
 using sat::Result;
-using sat::Solver;
+using sat::SatBackend;
 using sat::neg;
 using sat::pos;
 
@@ -32,9 +33,13 @@ std::optional<LogicNetwork> synthesize_with_r_steps(const TruthTable& f, unsigne
     const unsigned num_patterns = 1U << n;
     const unsigned total = n + r;
 
-    Solver solver;
+    // exact synthesis defaults to the plain internal solver (the per-r
+    // instances are small); BESTAGON_SAT_BACKEND can re-route it
+    const auto backend = sat::make_sat_backend({}, sat::BackendKind::internal);
+    auto& solver = *backend;
     sat::MemoryProofTracer tracer;
-    if (certify_unsat)
+    const bool can_certify = certify_unsat && solver.supports_proof_tracing();
+    if (can_certify)
     {
         solver.set_proof_tracer(&tracer);
     }
@@ -155,7 +160,7 @@ std::optional<LogicNetwork> synthesize_with_r_steps(const TruthTable& f, unsigne
     verdict = solver.solve();
     if (verdict != Result::satisfiable)
     {
-        if (verdict == Result::unsatisfiable && certify_unsat && stats != nullptr)
+        if (verdict == Result::unsatisfiable && can_certify && stats != nullptr)
         {
             const auto check =
                 sat::check_drat_proof(sat::to_cnf(solver.root_clauses()), tracer.proof());

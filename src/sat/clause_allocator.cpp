@@ -1,0 +1,61 @@
+#include "sat/clause_allocator.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace bestagon::sat
+{
+
+ClauseRef ClauseAllocator::alloc(std::span<const Lit> lits, bool learnt)
+{
+    const auto needed = detail::clause_header_words + lits.size();
+    assert(mem_.size() + needed < std::numeric_limits<ClauseRef>::max());
+    const auto r = static_cast<ClauseRef>(mem_.size());
+    mem_.resize(mem_.size() + needed);
+
+    auto* w = mem_.data() + r;
+    w[0] = (static_cast<std::uint32_t>(lits.size()) << detail::clause_size_shift) |
+           (learnt ? detail::clause_flag_learnt : 0U);
+    w[1] = 0U;                                  // lbd
+    w[2] = std::bit_cast<std::uint32_t>(0.0F);  // activity
+    for (std::size_t i = 0; i < lits.size(); ++i)
+    {
+        w[detail::clause_header_words + i] = std::bit_cast<std::uint32_t>(lits[i].x);
+    }
+    ++num_clauses_;
+    return r;
+}
+
+void ClauseAllocator::free_clause(ClauseRef r)
+{
+    const auto c = view(r);
+    assert(!c.deleted() && !c.relocated());
+    wasted_ += detail::clause_header_words + c.size();
+    mem_[r] |= detail::clause_flag_deleted;
+    --num_clauses_;
+}
+
+ClauseRef ClauseAllocator::reloc(ClauseRef r, ClauseAllocator& to)
+{
+    assert(&to != this);
+    if (view(r).relocated())
+    {
+        return view(r).forward();
+    }
+    assert(!view(r).deleted());
+
+    const auto needed = detail::clause_header_words + view(r).size();
+    const auto nr = static_cast<ClauseRef>(to.mem_.size());
+    to.mem_.resize(to.mem_.size() + needed);
+    // fetch the source pointer after the destination resize: the arenas are
+    // distinct objects, so this ordering only matters defensively
+    const auto* src = mem_.data() + r;
+    std::copy(src, src + needed, to.mem_.data() + nr);
+    ++to.num_clauses_;
+
+    mem_[r] |= detail::clause_flag_relocated;
+    mem_[r + 1] = nr;  // forwarding reference
+    return nr;
+}
+
+}  // namespace bestagon::sat

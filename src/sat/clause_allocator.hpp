@@ -1,0 +1,154 @@
+/// \file clause_allocator.hpp
+/// \brief Bump-pointer clause arena with 32-bit clause references.
+///
+/// Clauses live contiguously in one growable std::vector<std::uint32_t>; a
+/// ClauseRef is the word index of a clause header inside that arena. Compared
+/// to one heap vector per clause this removes a pointer chase per clause
+/// access in propagation/analysis, halves the reference width, and keeps
+/// clauses allocated together in the order the solver learns them.
+///
+/// Per-clause layout (header_words = 3):
+///
+///   word 0   flags | size      bit 0 = learnt, bit 1 = deleted,
+///                              bit 2 = relocated, bits 3.. = literal count
+///   word 1   lbd / forward     literal-block distance; after relocation this
+///                              word holds the forwarding ClauseRef instead
+///   word 2   activity          float, bit-cast
+///   word 3+  literals          Lit::x, bit-cast per literal
+///
+/// Deletion is a flag (plus wasted-space accounting) so that watcher lists
+/// can be cleaned lazily; garbage_collect-style compaction copies live
+/// clauses into a fresh arena via reloc(), which installs a forwarding
+/// reference on first visit so every alias of a clause relocates to the same
+/// new address. Compaction preserves clause contents, metadata and the order
+/// of all clause lists, so solver behaviour is bit-identical with or without
+/// a collection (see test_clause_allocator.cpp).
+
+#pragma once
+
+#include "sat/sat_types.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bestagon::sat
+{
+
+/// Index of a clause header inside a ClauseAllocator arena.
+using ClauseRef = std::uint32_t;
+
+inline constexpr ClauseRef clause_ref_undef = 0xFFFF'FFFFU;
+
+namespace detail
+{
+inline constexpr std::uint32_t clause_header_words = 3;
+inline constexpr std::uint32_t clause_flag_learnt = 1U;
+inline constexpr std::uint32_t clause_flag_deleted = 2U;
+inline constexpr std::uint32_t clause_flag_relocated = 4U;
+inline constexpr std::uint32_t clause_size_shift = 3U;
+}  // namespace detail
+
+/// Read-only handle to a clause inside an arena. Invalidated by any
+/// allocation (the arena vector may grow) — re-fetch after alloc().
+class ConstClauseView
+{
+  public:
+    explicit ConstClauseView(const std::uint32_t* words) noexcept : w_{words} {}
+
+    [[nodiscard]] std::uint32_t size() const noexcept { return w_[0] >> detail::clause_size_shift; }
+    [[nodiscard]] bool learnt() const noexcept { return (w_[0] & detail::clause_flag_learnt) != 0; }
+    [[nodiscard]] bool deleted() const noexcept { return (w_[0] & detail::clause_flag_deleted) != 0; }
+    [[nodiscard]] bool relocated() const noexcept { return (w_[0] & detail::clause_flag_relocated) != 0; }
+    [[nodiscard]] std::uint32_t lbd() const noexcept { return w_[1]; }
+    [[nodiscard]] ClauseRef forward() const noexcept { return w_[1]; }
+    [[nodiscard]] float activity() const noexcept { return std::bit_cast<float>(w_[2]); }
+    [[nodiscard]] Lit lit(std::uint32_t i) const noexcept
+    {
+        Lit l{};
+        l.x = std::bit_cast<std::int32_t>(w_[detail::clause_header_words + i]);
+        return l;
+    }
+    /// Copies the literals out into a std::vector (proof emission, snapshots).
+    [[nodiscard]] std::vector<Lit> lits() const
+    {
+        std::vector<Lit> out;
+        out.reserve(size());
+        for (std::uint32_t i = 0; i < size(); ++i)
+        {
+            out.push_back(lit(i));
+        }
+        return out;
+    }
+
+  protected:
+    const std::uint32_t* w_;
+};
+
+/// Mutable handle to a clause inside an arena (same invalidation rule).
+class ClauseView : public ConstClauseView
+{
+  public:
+    explicit ClauseView(std::uint32_t* words) noexcept : ConstClauseView{words}, mw_{words} {}
+
+    void set_lbd(std::uint32_t lbd) noexcept { mw_[1] = lbd; }
+    void set_activity(float a) noexcept { mw_[2] = std::bit_cast<std::uint32_t>(a); }
+    void set_lit(std::uint32_t i, Lit l) noexcept
+    {
+        mw_[detail::clause_header_words + i] = std::bit_cast<std::uint32_t>(l.x);
+    }
+    void swap_lits(std::uint32_t i, std::uint32_t j) noexcept
+    {
+        std::swap(mw_[detail::clause_header_words + i], mw_[detail::clause_header_words + j]);
+    }
+
+  private:
+    std::uint32_t* mw_;
+};
+
+/// Bump-pointer arena owning every clause of one solver instance.
+class ClauseAllocator
+{
+  public:
+    /// Appends a clause; returns its reference. References of previously
+    /// allocated clauses stay valid (the arena is index-, not
+    /// pointer-addressed) even when the underlying vector reallocates.
+    ClauseRef alloc(std::span<const Lit> lits, bool learnt);
+
+    [[nodiscard]] ClauseView view(ClauseRef r) noexcept
+    {
+        assert(r < mem_.size());
+        return ClauseView{mem_.data() + r};
+    }
+    [[nodiscard]] ConstClauseView view(ClauseRef r) const noexcept
+    {
+        assert(r < mem_.size());
+        return ConstClauseView{mem_.data() + r};
+    }
+
+    /// Marks a clause deleted and accounts its words as wasted. Watcher
+    /// entries pointing at it are dropped lazily by the owner.
+    void free_clause(ClauseRef r);
+
+    /// Copies the clause into \p to on first visit and installs a forwarding
+    /// reference so later visits (other watcher lists, reason slots) resolve
+    /// to the same new address. The clause must not be deleted.
+    ClauseRef reloc(ClauseRef r, ClauseAllocator& to);
+
+    /// Total words in use (including deleted clauses).
+    [[nodiscard]] std::size_t size_words() const noexcept { return mem_.size(); }
+    /// Words held by deleted clauses, reclaimable by compaction.
+    [[nodiscard]] std::size_t wasted_words() const noexcept { return wasted_; }
+    [[nodiscard]] std::size_t num_clauses() const noexcept { return num_clauses_; }
+
+    void reserve_words(std::size_t words) { mem_.reserve(words); }
+
+  private:
+    std::vector<std::uint32_t> mem_;
+    std::size_t wasted_{0};
+    std::size_t num_clauses_{0};
+};
+
+}  // namespace bestagon::sat

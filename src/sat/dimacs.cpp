@@ -153,7 +153,7 @@ void write_dimacs(std::ostream& out, const Cnf& cnf)
     }
 }
 
-bool load_into_solver(Solver& solver, const Cnf& cnf)
+bool load_into_solver(SatBackend& solver, const Cnf& cnf)
 {
     while (solver.num_vars() < cnf.num_vars)
     {

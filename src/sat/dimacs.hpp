@@ -3,7 +3,7 @@
 
 #pragma once
 
-#include "sat/solver.hpp"
+#include "sat/backend.hpp"
 
 #include <iosfwd>
 #include <string>
@@ -30,9 +30,9 @@ void write_dimacs(std::ostream& out, const Cnf& cnf);
 
 /// Loads a CNF into a solver (creating variables as needed).
 /// Returns false if the formula is trivially unsatisfiable.
-bool load_into_solver(Solver& solver, const Cnf& cnf);
+bool load_into_solver(SatBackend& solver, const Cnf& cnf);
 
-/// Converts solver-level clauses (e.g. Solver::root_clauses()) to a Cnf for
+/// Converts solver-level clauses (e.g. SatBackend::root_clauses()) to a Cnf for
 /// proof checking or DIMACS export.
 [[nodiscard]] Cnf to_cnf(const std::vector<std::vector<Lit>>& clauses);
 

@@ -1,0 +1,103 @@
+/// \file ipasir_backend.hpp
+/// \brief SatBackend facade over any IPASIR-conforming shared library.
+///
+/// IPASIR is the standard C interface of the SAT competitions (ipasir_init /
+/// ipasir_add / ipasir_assume / ipasir_solve / ipasir_val / ipasir_failed /
+/// ipasir_set_terminate). The facade dlopens a library at runtime, maps the
+/// 0-based Lit world onto DIMACS integers, and implements the StopToken /
+/// Deadline / time-budget surface through ipasir_set_terminate so external
+/// solvers honor run control like the in-tree one.
+///
+/// External solvers cannot stream DRAT proofs through this interface
+/// (supports_proof_tracing() is false) — consumers fall back to uncertified
+/// verdicts. Added clauses are recorded so root_clauses() stays available.
+///
+/// The repository builds its own solver as such a library
+/// (libbestagon_ipasir, see ipasir_export.cpp); the test suite loads it
+/// through this facade as a self-test of both sides of the interface.
+
+#pragma once
+
+#include "core/run_control.hpp"
+#include "sat/backend.hpp"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bestagon::sat
+{
+
+/// Backend delegating to an IPASIR shared library loaded with dlopen().
+class IpasirBackend final : public SatBackend
+{
+  public:
+    /// Loads \p library_path and resolves the IPASIR entry points.
+    /// Throws std::runtime_error when loading or symbol resolution fails
+    /// (or on platforms without dlopen support).
+    explicit IpasirBackend(const std::string& library_path);
+
+    IpasirBackend(const IpasirBackend&) = delete;
+    IpasirBackend(IpasirBackend&&) = delete;
+    IpasirBackend& operator=(const IpasirBackend&) = delete;
+    IpasirBackend& operator=(IpasirBackend&&) = delete;
+    ~IpasirBackend() override;
+
+    /// The library's ipasir_signature() string.
+    [[nodiscard]] std::string signature() const;
+
+    Var new_var() override { return num_vars_++; }
+    [[nodiscard]] int num_vars() const override { return num_vars_; }
+    bool add_clause(std::vector<Lit> lits) override;
+    using SatBackend::add_clause;
+    Result solve(const std::vector<Lit>& assumptions) override;
+    using SatBackend::solve;
+    [[nodiscard]] bool model_value(Var v) const override;
+    using SatBackend::model_value;
+    [[nodiscard]] const std::vector<Lit>& final_conflict() const override { return conflict_core_; }
+    [[nodiscard]] std::vector<std::vector<Lit>> root_clauses() const override { return original_clauses_; }
+    [[nodiscard]] const SolverStats& stats() const override { return stats_; }
+
+    /// Conflict budgets are not expressible through IPASIR; ignored.
+    void set_conflict_budget(std::int64_t budget) override { static_cast<void>(budget); }
+    void set_time_budget_ms(std::int64_t ms) override { time_budget_ms_ = ms; }
+    void set_stop_token(core::StopToken token) override { stop_token_ = std::move(token); }
+    void set_deadline(core::Deadline deadline) override { deadline_ = deadline; }
+    void set_time_check_stride(std::int64_t stride) override { static_cast<void>(stride); }
+
+  private:
+    static int terminate_callback(void* data);
+
+    using SignatureFn = const char* (*)();
+    using InitFn = void* (*)();
+    using ReleaseFn = void (*)(void*);
+    using AddFn = void (*)(void*, std::int32_t);
+    using AssumeFn = void (*)(void*, std::int32_t);
+    using SolveFn = int (*)(void*);
+    using ValFn = std::int32_t (*)(void*, std::int32_t);
+    using FailedFn = int (*)(void*, std::int32_t);
+    using SetTerminateFn = void (*)(void*, void*, int (*)(void*));
+
+    void* handle_{nullptr};
+    void* solver_{nullptr};
+    SignatureFn signature_fn_{nullptr};
+    ReleaseFn release_fn_{nullptr};
+    AddFn add_fn_{nullptr};
+    AssumeFn assume_fn_{nullptr};
+    SolveFn solve_fn_{nullptr};
+    ValFn val_fn_{nullptr};
+    FailedFn failed_fn_{nullptr};
+    SetTerminateFn set_terminate_fn_{nullptr};
+
+    std::vector<std::vector<Lit>> original_clauses_;
+    std::vector<Lit> conflict_core_;
+    SolverStats stats_{};
+    int num_vars_{0};
+
+    core::StopToken stop_token_{};
+    core::Deadline deadline_{};
+    std::int64_t time_budget_ms_{-1};
+    std::int64_t solve_start_ms_{0};
+};
+
+}  // namespace bestagon::sat

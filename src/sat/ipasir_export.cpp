@@ -1,0 +1,143 @@
+/// \file ipasir_export.cpp
+/// \brief The in-tree CDCL solver exported through the IPASIR C interface.
+///
+/// Compiled into the shared library `bestagon_ipasir`. This closes the
+/// backend loop: IpasirBackend can dlopen the in-tree solver like any
+/// external one, which the test suite uses as a self-test of the facade
+/// (symbol resolution, literal mapping, assumption/failed handling, and the
+/// terminate callback) without needing a third-party solver installed.
+
+#include "sat/sat_types.hpp"
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace
+{
+
+using bestagon::sat::Lit;
+using bestagon::sat::Result;
+using bestagon::sat::Var;
+
+struct IpasirState
+{
+    bestagon::sat::Solver solver;
+    std::vector<Lit> clause;
+    std::vector<Lit> assumptions;
+    std::vector<Lit> failed;
+
+    void ensure_var(std::int32_t dimacs_var)
+    {
+        while (solver.num_vars() < dimacs_var)
+        {
+            solver.new_var();
+        }
+    }
+
+    [[nodiscard]] Lit from_dimacs(std::int32_t lit)
+    {
+        const auto v = std::abs(lit);
+        ensure_var(v);
+        return Lit{static_cast<Var>(v - 1), lit < 0};
+    }
+};
+
+}  // namespace
+
+extern "C"
+{
+
+const char* ipasir_signature() { return "bestagon-cdcl"; }
+
+void* ipasir_init() { return new IpasirState; }
+
+void ipasir_release(void* solver) { delete static_cast<IpasirState*>(solver); }
+
+void ipasir_add(void* solver, std::int32_t lit_or_zero)
+{
+    auto* s = static_cast<IpasirState*>(solver);
+    if (lit_or_zero == 0)
+    {
+        s->solver.add_clause(std::move(s->clause));
+        s->clause.clear();
+        return;
+    }
+    s->clause.push_back(s->from_dimacs(lit_or_zero));
+}
+
+void ipasir_assume(void* solver, std::int32_t lit)
+{
+    auto* s = static_cast<IpasirState*>(solver);
+    s->assumptions.push_back(s->from_dimacs(lit));
+}
+
+int ipasir_solve(void* solver)
+{
+    auto* s = static_cast<IpasirState*>(solver);
+    const auto result = s->solver.solve(s->assumptions);
+    s->assumptions.clear();
+    s->failed = s->solver.final_conflict();
+    switch (result)
+    {
+        case Result::satisfiable:
+        {
+            return 10;
+        }
+        case Result::unsatisfiable:
+        {
+            return 20;
+        }
+        case Result::unknown:
+        default:
+        {
+            return 0;
+        }
+    }
+}
+
+std::int32_t ipasir_val(void* solver, std::int32_t lit)
+{
+    auto* s = static_cast<IpasirState*>(solver);
+    const auto v = static_cast<Var>(std::abs(lit) - 1);
+    if (v >= s->solver.num_vars())
+    {
+        return 0;
+    }
+    const bool var_true = s->solver.model_value(v);
+    const bool lit_true = (lit > 0) == var_true;
+    return lit_true ? lit : -lit;
+}
+
+int ipasir_failed(void* solver, std::int32_t lit)
+{
+    auto* s = static_cast<IpasirState*>(solver);
+    const auto v = static_cast<Var>(std::abs(lit) - 1);
+    const Lit l{v, lit < 0};
+    return std::find(s->failed.begin(), s->failed.end(), l) != s->failed.end() ? 1 : 0;
+}
+
+void ipasir_set_terminate(void* solver, void* data, int (*terminate)(void* data))
+{
+    auto* s = static_cast<IpasirState*>(solver);
+    if (terminate == nullptr)
+    {
+        s->solver.set_interrupt_callback({});
+        return;
+    }
+    s->solver.set_interrupt_callback([data, terminate]() { return terminate(data) != 0; });
+}
+
+void ipasir_set_learn(void* solver, void* data, int max_length, void (*learn)(void* data, std::int32_t* clause))
+{
+    // clause export is not implemented; accepting the call keeps strict
+    // IPASIR loaders happy
+    static_cast<void>(solver);
+    static_cast<void>(data);
+    static_cast<void>(max_length);
+    static_cast<void>(learn);
+}
+
+}  // extern "C"

@@ -1,0 +1,552 @@
+#include "sat/preprocessor.hpp"
+
+#include "sat/proof.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace bestagon::sat
+{
+
+namespace
+{
+
+/// True when every literal of \p c except \p skip occurs in sorted \p d.
+[[nodiscard]] bool subset_except(const std::vector<Lit>& c, Lit skip, const std::vector<Lit>& d)
+{
+    std::size_t j = 0;
+    for (const auto l : c)
+    {
+        if (l == skip)
+        {
+            continue;
+        }
+        while (j < d.size() && d[j] < l)
+        {
+            ++j;
+        }
+        if (j == d.size() || d[j] != l)
+        {
+            return false;
+        }
+        ++j;
+    }
+    return true;
+}
+
+}  // namespace
+
+std::uint64_t Preprocessor::clause_sig(const std::vector<Lit>& lits) noexcept
+{
+    std::uint64_t sig = 0;
+    for (const auto l : lits)
+    {
+        sig |= lit_sig(l);
+    }
+    return sig;
+}
+
+void Preprocessor::set_num_vars(int n)
+{
+    assert(n >= num_vars_);
+    num_vars_ = n;
+    frozen_.resize(static_cast<std::size_t>(n), 0);
+    eliminated_.resize(static_cast<std::size_t>(n), 0);
+    elim_candidate_.resize(static_cast<std::size_t>(n), 1);
+    occ_.resize(2 * static_cast<std::size_t>(n));
+}
+
+void Preprocessor::freeze(Var v)
+{
+    assert(v >= 0 && v < num_vars_);
+    frozen_[static_cast<std::size_t>(v)] = 1;
+}
+
+bool Preprocessor::add_clause(std::vector<Lit> lits)
+{
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    out.reserve(lits.size());
+    Lit prev = lit_undef;
+    for (const auto l : lits)
+    {
+        assert(l.var() >= 0 && l.var() < num_vars_);
+        if (l == ~prev)
+        {
+            return true;  // tautology: dropped, never part of the live set
+        }
+        if (l != prev)
+        {
+            out.push_back(l);
+            prev = l;
+        }
+    }
+    if (out.empty())
+    {
+        // the *input* contains the empty clause — no proof step is needed,
+        // the checker's formula already refutes itself
+        contradiction_ = true;
+        return false;
+    }
+    store_clause(std::move(out));
+    return true;
+}
+
+void Preprocessor::touch_clause_vars(const std::vector<Lit>& lits)
+{
+    for (const auto l : lits)
+    {
+        elim_candidate_[static_cast<std::size_t>(l.var())] = 1;
+    }
+}
+
+void Preprocessor::store_clause(std::vector<Lit> lits)
+{
+    const auto ci = static_cast<std::uint32_t>(db_.size());
+    PClause c;
+    c.sig = clause_sig(lits);
+    c.lits = std::move(lits);
+    touch_clause_vars(c.lits);
+    for (const auto l : c.lits)
+    {
+        occ_[static_cast<std::size_t>(l.x)].push_back(ci);
+    }
+    db_.push_back(std::move(c));
+    queue_.push_back(ci);
+    ++live_clauses_;
+}
+
+void Preprocessor::trace_add(const std::vector<Lit>& lits)
+{
+    if (proof_ != nullptr && !suppress_proof_)
+    {
+        proof_->add_derived_clause(lits);
+    }
+}
+
+void Preprocessor::trace_delete(const std::vector<Lit>& lits)
+{
+    if (proof_ != nullptr && !suppress_proof_)
+    {
+        proof_->delete_clause(lits);
+    }
+}
+
+void Preprocessor::delete_clause(std::uint32_t ci)
+{
+    assert(!db_[ci].deleted);
+    trace_delete(db_[ci].lits);
+    touch_clause_vars(db_[ci].lits);
+    db_[ci].deleted = true;
+    --live_clauses_;
+}
+
+void Preprocessor::derive_empty_clause()
+{
+    if (contradiction_)
+    {
+        return;
+    }
+    trace_add({});
+    contradiction_ = true;
+}
+
+bool Preprocessor::budget_ok(const core::StopToken& stop, const core::Deadline& deadline)
+{
+    if ((++budget_tick_ & 63U) != 0)
+    {
+        return true;
+    }
+    if (stop.stop_requested() || deadline.expired())
+    {
+        stats_.cancelled = true;
+        return false;
+    }
+    return true;
+}
+
+void Preprocessor::strengthen(std::uint32_t ci, Lit remove)
+{
+    auto& c = db_[ci];
+    std::vector<Lit> out;
+    out.reserve(c.lits.size() - 1);
+    for (const auto l : c.lits)
+    {
+        if (l != remove)
+        {
+            out.push_back(l);
+        }
+    }
+    if (out.empty())
+    {
+        derive_empty_clause();
+        return;
+    }
+    // RUP order: the strengthened clause is derived while its parent is
+    // still present, then the parent is retired
+    trace_add(out);
+    trace_delete(c.lits);
+    touch_clause_vars(c.lits);
+    c.lits = std::move(out);
+    c.sig = clause_sig(c.lits);
+    ++stats_.clauses_strengthened;
+    queue_.push_back(ci);
+}
+
+bool Preprocessor::subsume_round(const core::StopToken& stop, const core::Deadline& deadline)
+{
+    bool changed = false;
+    while (queue_head_ < queue_.size() && !contradiction_)
+    {
+        if (!budget_ok(stop, deadline))
+        {
+            return changed;
+        }
+        const auto ci = queue_[queue_head_++];
+        if (db_[ci].deleted)
+        {
+            continue;
+        }
+        const auto& c = db_[ci];
+
+        // forward subsumption: C ⊆ D deletes D. Candidates come from the
+        // occurrence list of C's least frequent literal.
+        Lit pivot = c.lits.front();
+        for (const auto l : c.lits)
+        {
+            if (occ_[static_cast<std::size_t>(l.x)].size() < occ_[static_cast<std::size_t>(pivot.x)].size())
+            {
+                pivot = l;
+            }
+        }
+        const auto& cands = occ_[static_cast<std::size_t>(pivot.x)];
+        for (std::size_t k = 0; k < cands.size(); ++k)
+        {
+            const auto di = cands[k];
+            if (di == ci || db_[di].deleted)
+            {
+                continue;
+            }
+            const auto& d = db_[di];
+            if (d.lits.size() < c.lits.size() || (c.sig & ~d.sig) != 0 ||
+                !std::binary_search(d.lits.begin(), d.lits.end(), pivot) ||
+                !subset_except(c.lits, lit_undef, d.lits))
+            {
+                continue;
+            }
+            delete_clause(di);
+            ++stats_.clauses_subsumed;
+            changed = true;
+        }
+
+        // self-subsuming resolution: if C with l flipped subsumes D, the
+        // resolvent of C and D on l strengthens D by dropping ~l
+        for (const auto l : c.lits)
+        {
+            if (db_[ci].deleted || contradiction_)
+            {
+                break;
+            }
+            const auto not_l = ~l;
+            const auto& negs = occ_[static_cast<std::size_t>(not_l.x)];
+            const std::uint64_t c_rest = c.sig & ~lit_sig(l);
+            for (std::size_t k = 0; k < negs.size(); ++k)
+            {
+                const auto di = negs[k];
+                if (db_[di].deleted)
+                {
+                    continue;
+                }
+                const auto& d = db_[di];
+                if (d.lits.size() < c.lits.size() || (c_rest & ~d.sig) != 0 ||
+                    !std::binary_search(d.lits.begin(), d.lits.end(), not_l) ||  // stale occurrence guard
+                    !subset_except(c.lits, l, d.lits))
+                {
+                    continue;
+                }
+                strengthen(di, not_l);
+                changed = true;
+                if (contradiction_)
+                {
+                    break;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+bool Preprocessor::try_eliminate(Var v)
+{
+    const auto collect = [this](Lit l) {
+        std::vector<std::uint32_t> out;
+        for (const auto ci : occ_[static_cast<std::size_t>(l.x)])
+        {
+            if (!db_[ci].deleted && std::binary_search(db_[ci].lits.begin(), db_[ci].lits.end(), l))
+            {
+                out.push_back(ci);
+            }
+        }
+        return out;
+    };
+    const auto pos_cls = collect(pos(v));
+    const auto neg_cls = collect(neg(v));
+    if (pos_cls.empty() && neg_cls.empty())
+    {
+        return false;  // unconstrained variable: nothing to do
+    }
+    // pure literals always eliminate (no resolvents); otherwise respect the
+    // occurrence bound on both polarities
+    if (!pos_cls.empty() && !neg_cls.empty() &&
+        (pos_cls.size() > options_.bve_occurrence_limit || neg_cls.size() > options_.bve_occurrence_limit))
+    {
+        return false;
+    }
+
+    // dry run first: count non-tautological resolvents and check the size cap
+    // without allocating anything — most attempts fail the growth bound, and
+    // materializing their resolvents was the preprocessor's dominant cost
+    const std::size_t max_resolvents = pos_cls.size() + neg_cls.size() + options_.bve_clause_growth;
+    const auto resolvent_size = [this, v](const std::vector<Lit>& p, const std::vector<Lit>& n,
+                                          std::vector<Lit>* out) -> int {
+        std::size_t a = 0;
+        std::size_t b = 0;
+        std::size_t size = 0;
+        Lit back = lit_undef;
+        while (a < p.size() || b < n.size())
+        {
+            Lit l{};
+            if (b == n.size() || (a < p.size() && p[a] <= n[b]))
+            {
+                l = p[a++];
+            }
+            else
+            {
+                l = n[b++];
+            }
+            if (l.var() == v || (size != 0 && back == l))
+            {
+                continue;
+            }
+            if (size != 0 && back == ~l)
+            {
+                return -1;  // tautology
+            }
+            back = l;
+            ++size;
+            if (out != nullptr)
+            {
+                out->push_back(l);
+            }
+        }
+        return static_cast<int>(size);
+    };
+    std::size_t num_resolvents = 0;
+    for (const auto pi : pos_cls)
+    {
+        for (const auto ni : neg_cls)
+        {
+            const int size = resolvent_size(db_[pi].lits, db_[ni].lits, nullptr);
+            if (size < 0)
+            {
+                continue;
+            }
+            if (static_cast<std::uint32_t>(size) > options_.bve_resolvent_size_limit)
+            {
+                return false;  // a needed resolvent is too big: skip v entirely
+            }
+            if (++num_resolvents > max_resolvents)
+            {
+                return false;
+            }
+        }
+    }
+
+    std::vector<std::vector<Lit>> resolvents;
+    resolvents.reserve(num_resolvents);
+    for (const auto pi : pos_cls)
+    {
+        for (const auto ni : neg_cls)
+        {
+            std::vector<Lit> r;
+            r.reserve(db_[pi].lits.size() + db_[ni].lits.size() - 2);
+            if (resolvent_size(db_[pi].lits, db_[ni].lits, &r) >= 0)
+            {
+                resolvents.push_back(std::move(r));
+            }
+        }
+    }
+
+    // commit: derive every resolvent while the parents are still present,
+    // then retire the parents and record them for model reconstruction
+    ElimEntry entry;
+    entry.v = v;
+    entry.clauses.reserve(pos_cls.size() + neg_cls.size());
+    for (const auto ci : pos_cls)
+    {
+        entry.clauses.push_back(db_[ci].lits);
+    }
+    for (const auto ci : neg_cls)
+    {
+        entry.clauses.push_back(db_[ci].lits);
+    }
+    for (auto& r : resolvents)
+    {
+        if (r.empty())
+        {
+            derive_empty_clause();
+            return true;
+        }
+        trace_add(r);
+        store_clause(std::move(r));
+        ++stats_.resolvents_added;
+    }
+    for (const auto ci : pos_cls)
+    {
+        delete_clause(ci);
+    }
+    for (const auto ci : neg_cls)
+    {
+        delete_clause(ci);
+    }
+    elim_stack_.push_back(std::move(entry));
+    eliminated_[static_cast<std::size_t>(v)] = 1;
+    ++stats_.vars_eliminated;
+    return true;
+}
+
+bool Preprocessor::eliminate_round(const core::StopToken& stop, core::Deadline const& deadline)
+{
+    // cheapest variables first: fewest live occurrences, ties by index
+    std::vector<std::uint32_t> occ_count(static_cast<std::size_t>(num_vars_), 0);
+    for (std::uint32_t ci = 0; ci < db_.size(); ++ci)
+    {
+        if (db_[ci].deleted)
+        {
+            continue;
+        }
+        for (const auto l : db_[ci].lits)
+        {
+            ++occ_count[static_cast<std::size_t>(l.var())];
+        }
+    }
+    std::vector<Var> order(static_cast<std::size_t>(num_vars_));
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&occ_count](Var a, Var b) {
+        const auto ca = occ_count[static_cast<std::size_t>(a)];
+        const auto cb = occ_count[static_cast<std::size_t>(b)];
+        return ca != cb ? ca < cb : a < b;
+    });
+
+    bool changed = false;
+    for (const auto v : order)
+    {
+        if (contradiction_)
+        {
+            break;
+        }
+        if (!budget_ok(stop, deadline))
+        {
+            return changed;
+        }
+        if (frozen_[static_cast<std::size_t>(v)] != 0 || eliminated_[static_cast<std::size_t>(v)] != 0 ||
+            elim_candidate_[static_cast<std::size_t>(v)] == 0)
+        {
+            continue;
+        }
+        // a failed attempt stays failed until a clause touching v changes;
+        // store/strengthen/delete re-arm the flag (see touch_clause_vars)
+        elim_candidate_[static_cast<std::size_t>(v)] = 0;
+        changed = try_eliminate(v) || changed;
+    }
+    return changed;
+}
+
+void Preprocessor::preprocess(const core::StopToken& stop, core::Deadline deadline)
+{
+    if (contradiction_)
+    {
+        return;
+    }
+    for (std::uint32_t pass = 0; pass < options_.max_passes; ++pass)
+    {
+        bool changed = false;
+        if (options_.enable_subsumption)
+        {
+            changed = subsume_round(stop, deadline) || changed;
+        }
+        if (contradiction_ || stats_.cancelled)
+        {
+            return;
+        }
+        if (options_.enable_bve)
+        {
+            changed = eliminate_round(stop, deadline) || changed;
+        }
+        if (contradiction_ || stats_.cancelled)
+        {
+            return;
+        }
+        if (!changed)
+        {
+            break;
+        }
+    }
+}
+
+std::vector<std::vector<Lit>> Preprocessor::clauses() const
+{
+    std::vector<std::vector<Lit>> out;
+    out.reserve(live_clauses_);
+    for (const auto& c : db_)
+    {
+        if (!c.deleted)
+        {
+            out.push_back(c.lits);
+        }
+    }
+    return out;
+}
+
+void Preprocessor::extend_model(std::vector<LBool>& model) const
+{
+    assert(model.size() >= static_cast<std::size_t>(num_vars_));
+    // reverse elimination order: clauses recorded for a variable only mention
+    // variables that were still alive then, i.e. never-eliminated variables
+    // (solver-assigned) or variables eliminated later (already reconstructed)
+    for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it)
+    {
+        const Var v = it->v;
+        bool force_true = false;
+        bool force_false = false;
+        for (const auto& cl : it->clauses)
+        {
+            bool satisfied_by_others = false;
+            bool v_positive = false;
+            for (const auto l : cl)
+            {
+                if (l.var() == v)
+                {
+                    v_positive = !l.sign();
+                    continue;
+                }
+                const auto mv = model[static_cast<std::size_t>(l.var())];
+                if (mv != LBool::undef && (mv == LBool::true_) != l.sign())
+                {
+                    satisfied_by_others = true;
+                    break;
+                }
+            }
+            if (!satisfied_by_others)
+            {
+                (v_positive ? force_true : force_false) = true;
+            }
+        }
+        // both polarities forced would contradict a satisfied resolvent
+        assert(!(force_true && force_false));
+        model[static_cast<std::size_t>(v)] = force_true ? LBool::true_ : LBool::false_;
+    }
+}
+
+}  // namespace bestagon::sat

@@ -1,0 +1,187 @@
+/// \file preprocessor.hpp
+/// \brief SatELite-style CNF preprocessing: subsumption, self-subsuming
+///        resolution, and bounded variable elimination (BVE).
+///
+/// The preprocessor transforms a clause set F into an equisatisfiable,
+/// usually smaller clause set F' and remembers enough to (a) map any model of
+/// F' back to a model of F (a reconstruction stack of all clauses removed by
+/// variable elimination, replayed in reverse) and (b) keep DRAT certification
+/// of UNSAT results checkable against the *original* formula: every derived
+/// clause (resolvent, strengthened clause) is emitted to the attached
+/// ProofTracer before its parents are deleted, so each step is RUP at the
+/// moment it is checked.
+///
+/// Invariants (see DESIGN.md §11):
+///   * frozen variables are never eliminated — callers freeze assumption
+///     variables so assumption solving and unsat cores stay meaningful;
+///   * an eliminated variable occurs in no live clause and in no later
+///     resolvent, so reverse-order reconstruction only reads values that are
+///     already final;
+///   * at most one polarity of an eliminated variable can be forced during
+///     reconstruction (both forced would contradict a satisfied resolvent).
+
+#pragma once
+
+#include "core/run_control.hpp"
+#include "sat/sat_types.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace bestagon::sat
+{
+
+class ProofTracer;
+
+/// Tuning knobs for the preprocessor. The defaults favour robustness: BVE
+/// only fires when it cannot grow the formula and resolvent size is capped.
+struct PreprocessorOptions
+{
+    bool enable_subsumption{true};
+    bool enable_bve{true};
+    /// Variables occurring more often than this (in either polarity) are
+    /// skipped by BVE — their resolvent cross product is too expensive.
+    std::uint32_t bve_occurrence_limit{16};
+    /// BVE may add at most (#pos + #neg + growth) resolvents per variable.
+    std::uint32_t bve_clause_growth{0};
+    /// Elimination is skipped entirely when any resolvent would exceed this.
+    std::uint32_t bve_resolvent_size_limit{32};
+    /// Subsumption/BVE rounds are repeated until fixpoint, at most this often.
+    std::uint32_t max_passes{3};
+    /// The PreprocessingBackend skips the preprocessing pass entirely for
+    /// formulas with fewer clauses than this — on tiny instances the pass
+    /// costs more than any search it could save. Set 0 to always preprocess
+    /// (the differential oracle and the preprocessor tests do). Has no effect
+    /// on direct Preprocessor use.
+    std::uint32_t backend_min_clauses{512};
+};
+
+struct PreprocessorStats
+{
+    std::uint32_t vars_eliminated{0};
+    std::uint32_t clauses_subsumed{0};
+    std::uint32_t clauses_strengthened{0};
+    std::uint32_t resolvents_added{0};
+    /// True when preprocessing was cut short by a StopToken or Deadline. The
+    /// partially simplified formula is still equisatisfiable.
+    bool cancelled{false};
+};
+
+/// One-shot preprocessor: add clauses, freeze protected variables, call
+/// preprocess(), then feed clauses() to a solver and extend_model() any
+/// model found. A contradiction derived during preprocessing settles the
+/// instance outright (the empty clause is traced, keeping proofs complete).
+class Preprocessor
+{
+  public:
+    explicit Preprocessor(PreprocessorOptions options = {}) : options_{options} {}
+
+    /// Declares the variable universe [0, n).
+    void set_num_vars(int n);
+
+    /// Attaches (or detaches) a DRAT tracer for derived/deleted clauses.
+    void set_proof_tracer(ProofTracer* tracer) noexcept { proof_ = tracer; }
+
+    /// Protects \p v from elimination (assumption variables, outputs).
+    void freeze(Var v);
+
+    /// Adds a clause (normalized: sorted, deduplicated; tautologies are
+    /// dropped). Returns false if the clause is empty — the instance is then
+    /// trivially unsatisfiable.
+    bool add_clause(std::vector<Lit> lits);
+
+    /// Runs subsumption/self-subsuming-resolution and BVE rounds to fixpoint
+    /// (bounded by max_passes). Polls the stop token and deadline and returns
+    /// early — still sound — when either fires.
+    void preprocess(const core::StopToken& stop = {}, core::Deadline deadline = {});
+
+    /// True once the formula has been reduced to (or contained) the empty
+    /// clause; solving is settled as unsatisfiable.
+    [[nodiscard]] bool contradiction() const noexcept { return contradiction_; }
+
+    [[nodiscard]] bool eliminated(Var v) const noexcept
+    {
+        return static_cast<std::size_t>(v) < eliminated_.size() && eliminated_[static_cast<std::size_t>(v)] != 0;
+    }
+
+    [[nodiscard]] bool frozen(Var v) const noexcept
+    {
+        return static_cast<std::size_t>(v) < frozen_.size() && frozen_[static_cast<std::size_t>(v)] != 0;
+    }
+
+    /// The live (simplified) clause set, in deterministic database order.
+    [[nodiscard]] std::vector<std::vector<Lit>> clauses() const;
+
+    /// Number of live clauses.
+    [[nodiscard]] std::size_t num_clauses() const noexcept { return live_clauses_; }
+
+    /// Rewrites \p model (indexed by variable, sized to the full universe) so
+    /// that every clause removed by variable elimination is satisfied. Values
+    /// of eliminated variables are overwritten; all others are read-only.
+    void extend_model(std::vector<LBool>& model) const;
+
+    [[nodiscard]] const PreprocessorStats& stats() const noexcept { return stats_; }
+
+    /// Test-only fault hook: suppresses every proof emission (derived and
+    /// deleted clauses) while leaving the transformation itself in place.
+    /// Used by the differential oracle to prove that gutted preprocessing
+    /// proofs are rejected by the DRAT checker.
+    void testkit_suppress_proof_steps(bool on) noexcept { suppress_proof_ = on; }
+
+  private:
+    struct PClause
+    {
+        std::vector<Lit> lits;   // sorted, deduplicated
+        std::uint64_t sig{0};    // bloom signature over literals
+        bool deleted{false};
+    };
+
+    struct ElimEntry
+    {
+        Var v;
+        std::vector<std::vector<Lit>> clauses;  // every clause that contained v
+    };
+
+    [[nodiscard]] static std::uint64_t lit_sig(Lit l) noexcept
+    {
+        return 1ULL << (static_cast<std::uint64_t>(static_cast<std::uint32_t>(l.x)) * 0x9E37'79B9'7F4A'7C15ULL >> 58U);
+    }
+    [[nodiscard]] static std::uint64_t clause_sig(const std::vector<Lit>& lits) noexcept;
+
+    void trace_add(const std::vector<Lit>& lits);
+    void trace_delete(const std::vector<Lit>& lits);
+    void store_clause(std::vector<Lit> lits);
+    void delete_clause(std::uint32_t ci);
+    void derive_empty_clause();
+    [[nodiscard]] bool budget_ok(const core::StopToken& stop, const core::Deadline& deadline);
+
+    bool subsume_round(const core::StopToken& stop, const core::Deadline& deadline);
+    bool eliminate_round(const core::StopToken& stop, const core::Deadline& deadline);
+    bool try_eliminate(Var v);
+    void strengthen(std::uint32_t ci, Lit remove);
+
+    PreprocessorOptions options_{};
+    PreprocessorStats stats_{};
+    ProofTracer* proof_{nullptr};
+
+    void touch_clause_vars(const std::vector<Lit>& lits);
+
+    std::vector<PClause> db_;
+    std::vector<std::vector<std::uint32_t>> occ_;  // by literal code, lazily cleaned
+    std::vector<std::uint8_t> frozen_;
+    std::vector<std::uint8_t> eliminated_;
+    /// BVE worklist: a variable is a candidate until try_eliminate fails on
+    /// it, and becomes one again whenever a clause touching it is added,
+    /// strengthened or deleted — later rounds skip unchanged neighborhoods.
+    std::vector<std::uint8_t> elim_candidate_;
+    std::vector<ElimEntry> elim_stack_;
+    std::vector<std::uint32_t> queue_;      // clause indices pending subsumption
+    std::size_t queue_head_{0};
+    std::size_t live_clauses_{0};
+    int num_vars_{0};
+    std::uint32_t budget_tick_{0};
+    bool contradiction_{false};
+    bool suppress_proof_{false};
+};
+
+}  // namespace bestagon::sat

@@ -1,13 +1,11 @@
-#include "sat/solver.hpp"
-
-#include "sat/proof.hpp"
+#include "testing/legacy_solver.hpp"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cmath>
 
-namespace bestagon::sat
+namespace bestagon::testkit::legacy
 {
 
 namespace
@@ -129,21 +127,27 @@ Var Solver::new_var()
     return v;
 }
 
+Solver::CRef Solver::alloc_clause(std::vector<Lit> lits, bool learnt)
+{
+    const auto cr = static_cast<CRef>(clauses_.size());
+    Clause c;
+    c.lits = std::move(lits);
+    c.learnt = learnt;
+    clauses_.push_back(std::move(c));
+    return cr;
+}
+
 void Solver::attach_clause(CRef cr)
 {
-    const auto c = ca_.view(cr);
-    assert(c.size() >= 2);
-    watches_[static_cast<std::size_t>((~c.lit(0)).x)].push_back({cr, c.lit(1)});
-    watches_[static_cast<std::size_t>((~c.lit(1)).x)].push_back({cr, c.lit(0)});
+    const auto& c = clauses_[cr];
+    assert(c.lits.size() >= 2);
+    watches_[static_cast<std::size_t>((~c.lits[0]).x)].push_back({cr, c.lits[1]});
+    watches_[static_cast<std::size_t>((~c.lits[1]).x)].push_back({cr, c.lits[0]});
 }
 
 void Solver::remove_clause(CRef cr)
 {
-    if (proof_ != nullptr)
-    {
-        proof_->delete_clause(ca_.view(cr).lits());
-    }
-    ca_.free_clause(cr);  // watches are cleaned lazily during propagation
+    clauses_[cr].deleted = true;  // watches are cleaned lazily during propagation
     ++stats_.deleted_clauses;
 }
 
@@ -191,7 +195,7 @@ bool Solver::add_clause(std::vector<Lit> lits)
         return ok_;
     }
 
-    const auto cr = ca_.alloc(out, false);
+    const auto cr = alloc_clause(std::move(out), false);
     problem_clauses_.push_back(cr);
     ++num_problem_clauses_;
     attach_clause(cr);
@@ -228,21 +232,21 @@ Solver::CRef Solver::propagate()
                 ws[j++] = ws[i++];
                 continue;
             }
-            auto c = ca_.view(w.cref);
-            if (c.deleted())
+            Clause& c = clauses_[w.cref];
+            if (c.deleted)
             {
                 ++i;  // drop watcher of a deleted clause
                 continue;
             }
-            // make sure the false literal is lit(1)
+            // make sure the false literal is lits[1]
             const Lit false_lit = ~p;
-            if (c.lit(0) == false_lit)
+            if (c.lits[0] == false_lit)
             {
-                c.swap_lits(0, 1);
+                std::swap(c.lits[0], c.lits[1]);
             }
-            assert(c.lit(1) == false_lit);
+            assert(c.lits[1] == false_lit);
 
-            const Lit first = c.lit(0);
+            const Lit first = c.lits[0];
             if (value(first) == LBool::true_)
             {
                 ws[j++] = {w.cref, first};
@@ -251,13 +255,12 @@ Solver::CRef Solver::propagate()
             }
             // look for a new watch
             bool found = false;
-            const auto size = c.size();
-            for (std::uint32_t k = 2; k < size; ++k)
+            for (std::size_t k = 2; k < c.lits.size(); ++k)
             {
-                if (value(c.lit(k)) != LBool::false_)
+                if (value(c.lits[k]) != LBool::false_)
                 {
-                    c.swap_lits(1, k);
-                    watches_[static_cast<std::size_t>((~c.lit(1)).x)].push_back({w.cref, first});
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[static_cast<std::size_t>((~c.lits[1]).x)].push_back({w.cref, first});
                     found = true;
                     break;
                 }
@@ -332,15 +335,14 @@ void Solver::var_bump_activity(Var v)
     order_heap_.update(v);
 }
 
-void Solver::cla_bump_activity(ClauseView c)
+void Solver::cla_bump_activity(Clause& c)
 {
-    c.set_activity(c.activity() + static_cast<float>(cla_inc_));
-    if (c.activity() > 1e20F)
+    c.activity += cla_inc_;
+    if (c.activity > 1e20)
     {
         for (const auto cr : learnts_)
         {
-            auto lc = ca_.view(cr);
-            lc.set_activity(lc.activity() * 1e-20F);
+            clauses_[cr].activity *= 1e-20;
         }
         cla_inc_ *= 1e-20;
     }
@@ -358,16 +360,15 @@ void Solver::analyze(CRef conflict, std::vector<Lit>& out_learnt, int& out_btlev
     do
     {
         assert(cr != cref_undef);
-        const auto c = ca_.view(cr);
-        if (c.learnt())
+        Clause& c = clauses_[cr];
+        if (c.learnt)
         {
-            cla_bump_activity(ca_.view(cr));
+            cla_bump_activity(c);
         }
-        const std::uint32_t start = (p == lit_undef) ? 0 : 1;
-        const auto size = c.size();
-        for (std::uint32_t k = start; k < size; ++k)
+        const std::size_t start = (p == lit_undef) ? 0 : 1;
+        for (std::size_t k = start; k < c.lits.size(); ++k)
         {
-            const Lit q = c.lit(k);
+            const Lit q = c.lits[k];
             const Var v = q.var();
             if (seen_[static_cast<std::size_t>(v)] == 0 && level_[static_cast<std::size_t>(v)] > 0)
             {
@@ -461,11 +462,10 @@ bool Solver::lit_redundant(Lit l, std::uint32_t abstract_levels)
         analyze_stack_.pop_back();
         const CRef cr = reason_[static_cast<std::size_t>(q.var())];
         assert(cr != cref_undef);
-        const auto c = ca_.view(cr);
-        const auto size = c.size();
-        for (std::uint32_t k = 1; k < size; ++k)
+        const Clause& c = clauses_[cr];
+        for (std::size_t k = 1; k < c.lits.size(); ++k)
         {
-            const Lit r = c.lit(k);
+            const Lit r = c.lits[k];
             const Var v = r.var();
             if (seen_[static_cast<std::size_t>(v)] != 0 || level_[static_cast<std::size_t>(v)] == 0)
             {
@@ -525,11 +525,10 @@ void Solver::analyze_final(Lit failed_assumption)
         }
         else
         {
-            const auto c = ca_.view(cr);
-            const auto size = c.size();
-            for (std::uint32_t k = 1; k < size; ++k)
+            const Clause& c = clauses_[cr];
+            for (std::size_t k = 1; k < c.lits.size(); ++k)
             {
-                const Var x = c.lit(k).var();
+                const Var x = c.lits[k].var();
                 if (seen_[static_cast<std::size_t>(x)] == 0 && level_[static_cast<std::size_t>(x)] > 0)
                 {
                     seen_[static_cast<std::size_t>(x)] = 1;
@@ -560,19 +559,9 @@ Lit Solver::pick_branch_lit()
 
 void Solver::reduce_db()
 {
-    // LBD-aware reduction (Glucose-style): order candidates worst-first by
-    // literal-block distance, breaking ties by activity, and delete the
-    // worse half. Binary clauses, "glue" clauses (LBD <= 2) and locked
-    // clauses (currently a propagation reason) are always kept.
-    std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
-        const auto va = ca_.view(a);
-        const auto vb = ca_.view(b);
-        if (va.lbd() != vb.lbd())
-        {
-            return va.lbd() > vb.lbd();
-        }
-        return va.activity() < vb.activity();
-    });
+    // sort learnts by activity ascending; delete the weaker half
+    std::sort(learnts_.begin(), learnts_.end(),
+              [this](CRef a, CRef b) { return clauses_[a].activity < clauses_[b].activity; });
 
     std::vector<CRef> kept;
     kept.reserve(learnts_.size());
@@ -580,10 +569,10 @@ void Solver::reduce_db()
     for (std::size_t i = 0; i < learnts_.size(); ++i)
     {
         const CRef cr = learnts_[i];
-        const auto c = ca_.view(cr);
-        const bool locked = c.size() > 0 && value(c.lit(0)) == LBool::true_ &&
-                            reason_[static_cast<std::size_t>(c.lit(0).var())] == cr;
-        if (!locked && c.size() > 2 && c.lbd() > 2 && i < half)
+        Clause& c = clauses_[cr];
+        const bool locked = !c.lits.empty() && value(c.lits[0]) == LBool::true_ &&
+                            reason_[static_cast<std::size_t>(c.lits[0].var())] == cr;
+        if (!locked && c.lits.size() > 2 && c.lbd > 2 && i < half)
         {
             remove_clause(cr);
         }
@@ -593,79 +582,6 @@ void Solver::reduce_db()
         }
     }
     learnts_ = std::move(kept);
-    maybe_garbage_collect();
-}
-
-void Solver::maybe_garbage_collect()
-{
-    const auto wasted = ca_.wasted_words();
-    if (wasted == 0)
-    {
-        return;
-    }
-    if (static_cast<double>(wasted) >= gc_wasted_fraction_ * static_cast<double>(ca_.size_words()))
-    {
-        garbage_collect();
-    }
-}
-
-void Solver::garbage_collect()
-{
-    ClauseAllocator to;
-    to.reserve_words(ca_.size_words() - ca_.wasted_words());
-
-    // clause lists first: their order fixes the layout of the new arena
-    const auto reloc_list = [this, &to](std::vector<CRef>& list) {
-        std::size_t j = 0;
-        for (const auto cr : list)
-        {
-            if (ca_.view(cr).deleted())
-            {
-                continue;
-            }
-            list[j++] = ca_.reloc(cr, to);
-        }
-        list.resize(j);
-    };
-    reloc_list(problem_clauses_);
-    reloc_list(learnts_);
-
-    // watcher lists: drop stale entries of deleted clauses, keep order
-    for (auto& ws : watches_)
-    {
-        std::size_t j = 0;
-        for (auto w : ws)
-        {
-            if (ca_.view(w.cref).deleted())
-            {
-                continue;
-            }
-            w.cref = ca_.reloc(w.cref, to);
-            ws[j++] = w;
-        }
-        ws.resize(j);
-    }
-
-    // reasons: live reasons are locked (never deleted); stale slots of
-    // unassigned variables are cleared instead of chased
-    for (Var v = 0; v < num_vars(); ++v)
-    {
-        auto& r = reason_[static_cast<std::size_t>(v)];
-        if (r == cref_undef)
-        {
-            continue;
-        }
-        if (value(v) != LBool::undef)
-        {
-            r = ca_.reloc(r, to);
-        }
-        else
-        {
-            r = cref_undef;
-        }
-    }
-
-    ca_ = std::move(to);
 }
 
 std::int64_t Solver::luby(std::int64_t i)
@@ -690,10 +606,6 @@ std::int64_t Solver::luby(std::int64_t i)
 bool Solver::budget_exhausted() const
 {
     if (stop_token_.stop_requested())
-    {
-        return true;
-    }
-    if (interrupt_ && interrupt_())
     {
         return true;
     }
@@ -738,20 +650,12 @@ Result Solver::search(std::int64_t conflicts_allowed)
             ++conflicts_here;
             if (decision_level() == 0)
             {
-                if (proof_ != nullptr)
-                {
-                    proof_->add_derived_clause({});  // the refutation terminator
-                }
                 ok_ = false;
                 return Result::unsatisfiable;
             }
             int bt_level = 0;
             std::uint32_t lbd = 0;
             analyze(conflict, learnt, bt_level, lbd);
-            if (proof_ != nullptr)
-            {
-                proof_->add_derived_clause(learnt);
-            }
             cancel_until(bt_level);
             if (learnt.size() == 1)
             {
@@ -759,11 +663,11 @@ Result Solver::search(std::int64_t conflicts_allowed)
             }
             else
             {
-                const CRef cr = ca_.alloc(learnt, true);
-                ca_.view(cr).set_lbd(lbd);
+                const CRef cr = alloc_clause(learnt, true);
+                clauses_[cr].lbd = lbd;
                 learnts_.push_back(cr);
                 attach_clause(cr);
-                cla_bump_activity(ca_.view(cr));
+                cla_bump_activity(clauses_[cr]);
                 unchecked_enqueue(learnt[0], cr);
                 ++stats_.learnt_clauses;
             }
@@ -835,7 +739,7 @@ std::vector<std::vector<Lit>> Solver::root_clauses() const
     }
     for (const auto cr : problem_clauses_)
     {
-        out.push_back(ca_.view(cr).lits());
+        out.push_back(clauses_[cr].lits);
     }
     return out;
 }
@@ -881,4 +785,4 @@ Result Solver::solve(const std::vector<Lit>& assumptions)
     return result;
 }
 
-}  // namespace bestagon::sat
+}  // namespace bestagon::testkit::legacy

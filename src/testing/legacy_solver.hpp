@@ -1,48 +1,47 @@
-/// \file solver.hpp
-/// \brief A conflict-driven clause-learning (CDCL) SAT solver.
+/// \file legacy_solver.hpp
+/// \brief Frozen pre-arena CDCL solver kept as a differential-testing oracle.
 ///
-/// This solver is the propositional reasoning substrate for the exact
-/// physical-design engine and the SAT-based equivalence checker. It follows
-/// the classic MiniSat architecture: two-literal watching with blockers,
-/// first-UIP clause learning with recursive minimization, VSIDS branching,
-/// phase saving, Luby restarts, and LBD-aware learnt-clause reduction.
-/// Incremental solving under assumptions is supported.
-///
-/// Clauses live in a bump-pointer arena (clause_allocator.hpp) addressed by
-/// 32-bit references; deleted clauses are compacted away by a deterministic
-/// garbage collector once the wasted fraction crosses a threshold.
-///
-/// The solver implements the SatBackend interface (backend.hpp) so every
-/// consumer can swap it for a preprocessing wrapper or an external IPASIR
-/// library.
+/// This is the solver exactly as it stood before the clause-arena /
+/// preprocessing / backend modernization (commit 98277c4), with the proof
+/// tracing surface trimmed. It is compiled only into the testkit and serves
+/// as the reference lane of testkit::sat_differential: any divergence between
+/// this solver and the modernized stack is a bug in one of them. Do not
+/// improve it — its value is that it does not change.
 
 #pragma once
 
 #include "core/run_control.hpp"
-#include "sat/backend.hpp"
-#include "sat/clause_allocator.hpp"
 #include "sat/sat_types.hpp"
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <vector>
 
-namespace bestagon::sat
+namespace bestagon::testkit::legacy
 {
 
-class ProofTracer;
+using sat::LBool;
+using sat::Lit;
+using sat::Result;
+using sat::SolverStats;
+using sat::Var;
+using sat::lbool_from;
+using sat::lit_undef;
+using sat::neg;
+using sat::pos;
+
 
 /// CDCL SAT solver with incremental assumption-based solving.
-class Solver final : public SatBackend
+class Solver
 {
   public:
     Solver();
 
     /// Creates a fresh variable and returns it.
-    Var new_var() override;
+    Var new_var();
 
     /// Number of variables created so far.
-    [[nodiscard]] int num_vars() const noexcept override { return static_cast<int>(assigns_.size()); }
+    [[nodiscard]] int num_vars() const noexcept { return static_cast<int>(assigns_.size()); }
 
     /// Number of problem (non-learnt) clauses currently held.
     [[nodiscard]] std::size_t num_clauses() const noexcept { return num_problem_clauses_; }
@@ -50,69 +49,58 @@ class Solver final : public SatBackend
     /// Adds a clause (disjunction of literals). Returns false if the clause
     /// makes the instance trivially unsatisfiable (e.g. empty after
     /// simplification against top-level assignments).
-    bool add_clause(std::vector<Lit> lits) override;
-    using SatBackend::add_clause;
+    bool add_clause(std::vector<Lit> lits);
+
+    /// Convenience overloads.
+    bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+    bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+    bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
 
     /// Solves the current formula under the given assumptions.
-    Result solve(const std::vector<Lit>& assumptions) override;
-    using SatBackend::solve;
+    Result solve(const std::vector<Lit>& assumptions = {});
 
     /// Model value of variable \p v after a satisfiable result.
-    [[nodiscard]] bool model_value(Var v) const override
-    {
-        return model_[static_cast<std::size_t>(v)] == LBool::true_;
-    }
-    using SatBackend::model_value;
+    [[nodiscard]] bool model_value(Var v) const { return model_[static_cast<std::size_t>(v)] == LBool::true_; }
+
+    /// Model value of a literal after a satisfiable result.
+    [[nodiscard]] bool model_value(Lit l) const { return model_value(l.var()) != l.sign(); }
 
     /// Limits the number of conflicts for the next solve() call
     /// (< 0 disables the budget). Exceeding it yields Result::unknown.
-    void set_conflict_budget(std::int64_t budget) noexcept override { conflict_budget_ = budget; }
+    void set_conflict_budget(std::int64_t budget) noexcept { conflict_budget_ = budget; }
 
     /// Wall-clock budget in milliseconds for the next solve() call
     /// (< 0 disables). Exceeding it yields Result::unknown.
-    void set_time_budget_ms(std::int64_t ms) noexcept override { time_budget_ms_ = ms; }
+    void set_time_budget_ms(std::int64_t ms) noexcept { time_budget_ms_ = ms; }
 
     /// Cooperative cancellation: the search polls the token alongside its
     /// budgets and yields Result::unknown once a stop is requested. A
     /// default-constructed token clears it.
-    void set_stop_token(core::StopToken token) noexcept override { stop_token_ = std::move(token); }
+    void set_stop_token(core::StopToken token) noexcept { stop_token_ = std::move(token); }
 
     /// Absolute steady-clock deadline for solve(); composes with (is checked
     /// in addition to) the relative time budget. An unlimited Deadline
     /// clears it.
-    void set_deadline(core::Deadline deadline) noexcept override { deadline_ = deadline; }
+    void set_deadline(core::Deadline deadline) noexcept { deadline_ = deadline; }
 
     /// Number of budget checks (≈ decisions) between wall-clock polls.
     /// Smaller strides honor tight time budgets more promptly at the cost of
     /// more clock reads; values < 1 are clamped to 1. Defaults to 256.
-    void set_time_check_stride(std::int64_t stride) noexcept override
+    void set_time_check_stride(std::int64_t stride) noexcept
     {
         time_check_stride_ = stride < 1 ? 1 : stride;
     }
 
-    /// External interrupt hook, polled once per budget check (≈ decision).
-    /// Returning true aborts the running solve with Result::unknown. Used by
-    /// the IPASIR facade to implement ipasir_set_terminate.
-    void set_interrupt_callback(std::function<bool()> callback) { interrupt_ = std::move(callback); }
-
-    [[nodiscard]] const SolverStats& stats() const noexcept override { return stats_; }
+    [[nodiscard]] const SolverStats& stats() const noexcept { return stats_; }
 
     /// True once the formula was proven unsatisfiable without assumptions.
     [[nodiscard]] bool in_conflicting_state() const noexcept { return !ok_; }
-
-    /// Attaches (or detaches, with nullptr) a DRAT proof tracer. Every learnt
-    /// clause, every database deletion and — on an assumption-free UNSAT — the
-    /// final empty clause are streamed to it. No tracing work happens when no
-    /// tracer is attached.
-    void set_proof_tracer(ProofTracer* tracer) noexcept override { proof_ = tracer; }
-
-    [[nodiscard]] bool supports_proof_tracing() const noexcept override { return true; }
 
     /// After solve() returned unsatisfiable: the subset of the assumptions
     /// that the refutation depends on (the "unsat core" over assumptions).
     /// Empty when the formula itself is unsatisfiable regardless of the
     /// assumptions.
-    [[nodiscard]] const std::vector<Lit>& final_conflict() const noexcept override { return conflict_core_; }
+    [[nodiscard]] const std::vector<Lit>& final_conflict() const noexcept { return conflict_core_; }
 
     /// Snapshot of the root-level formula as the solver holds it: stored
     /// problem clauses, top-level units from clause simplification, and any
@@ -120,27 +108,20 @@ class Solver final : public SatBackend
     /// clause is a logical consequence of the clauses passed to add_clause(),
     /// so a DRAT refutation checked against this snapshot certifies the
     /// original formula unsatisfiable. Intended for proof certification.
-    [[nodiscard]] std::vector<std::vector<Lit>> root_clauses() const override;
-
-    /// Compacts the clause arena, dropping deleted clauses and stale
-    /// watchers. Clause contents, metadata and all list orders are
-    /// preserved, so solve traces are bit-identical with or without a
-    /// collection. Runs automatically after database reductions once the
-    /// wasted fraction exceeds the GC threshold; public for tests.
-    void garbage_collect();
-
-    /// Fraction of arena words that may be wasted (deleted clauses) before a
-    /// database reduction triggers garbage collection. Values <= 0 collect
-    /// after every reduction (useful to prove GC determinism in tests).
-    /// Defaults to 0.25.
-    void set_gc_wasted_fraction(double fraction) noexcept { gc_wasted_fraction_ = fraction; }
-
-    /// The clause arena (introspection for tests and benchmarks).
-    [[nodiscard]] const ClauseAllocator& clause_arena() const noexcept { return ca_; }
+    [[nodiscard]] std::vector<std::vector<Lit>> root_clauses() const;
 
   private:
-    using CRef = ClauseRef;
-    static constexpr CRef cref_undef = clause_ref_undef;
+    using CRef = std::uint32_t;
+    static constexpr CRef cref_undef = std::numeric_limits<CRef>::max();
+
+    struct Clause
+    {
+        std::vector<Lit> lits;
+        double activity{0.0};
+        std::uint32_t lbd{0};
+        bool learnt{false};
+        bool deleted{false};
+    };
 
     struct Watcher
     {
@@ -169,10 +150,10 @@ class Solver final : public SatBackend
     };
 
     // clause management
+    CRef alloc_clause(std::vector<Lit> lits, bool learnt);
     void attach_clause(CRef cr);
     void remove_clause(CRef cr);
     void reduce_db();
-    void maybe_garbage_collect();
 
     // assignment / propagation
     [[nodiscard]] LBool value(Lit l) const
@@ -199,7 +180,7 @@ class Solver final : public SatBackend
     Lit pick_branch_lit();
     void var_bump_activity(Var v);
     void var_decay_activity() noexcept { var_inc_ /= var_decay_; }
-    void cla_bump_activity(ClauseView c);
+    void cla_bump_activity(Clause& c);
     void cla_decay_activity() noexcept { cla_inc_ /= cla_decay_; }
 
     // search
@@ -208,7 +189,7 @@ class Solver final : public SatBackend
     [[nodiscard]] bool budget_exhausted() const;
 
     // data
-    ClauseAllocator ca_;
+    std::vector<Clause> clauses_;
     std::vector<CRef> problem_clauses_;
     std::vector<CRef> learnts_;
     std::size_t num_problem_clauses_{0};
@@ -230,13 +211,10 @@ class Solver final : public SatBackend
 
     // root-formula bookkeeping for proof certification: units produced by
     // add_clause simplification and clauses that simplified to empty are not
-    // stored in the arena, so they are recorded here to keep root_clauses()
+    // stored in clauses_, so they are recorded here to keep root_clauses()
     // a faithful (consequence-preserving) snapshot of the input formula
     std::vector<Lit> root_units_;
     std::vector<std::vector<Lit>> root_conflict_clauses_;
-
-    ProofTracer* proof_{nullptr};
-    std::function<bool()> interrupt_{};
 
     // temporaries for analyze()
     std::vector<std::uint8_t> seen_;
@@ -248,7 +226,6 @@ class Solver final : public SatBackend
     double var_decay_{0.95};
     double cla_inc_{1.0};
     double cla_decay_{0.999};
-    double gc_wasted_fraction_{0.25};
     std::int64_t conflict_budget_{-1};
     std::int64_t time_budget_ms_{-1};
     core::StopToken stop_token_{};
@@ -262,4 +239,4 @@ class Solver final : public SatBackend
     SolverStats stats_{};
 };
 
-}  // namespace bestagon::sat
+}  // namespace bestagon::testkit::legacy

@@ -1,4 +1,5 @@
 #include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
 
 #include <gtest/gtest.h>
 

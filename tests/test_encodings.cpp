@@ -1,4 +1,5 @@
 #include "sat/encodings.hpp"
+#include "sat/solver.hpp"
 
 #include <gtest/gtest.h>
 
