@@ -1,0 +1,201 @@
+#include "analysis/lexer.hpp"
+
+#include <cctype>
+
+namespace bestagon::analysis
+{
+
+namespace
+{
+
+[[nodiscard]] bool ident_start(char c) noexcept
+{
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) noexcept
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool digit(char c) noexcept
+{
+    return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+/// Multi-character punctuators, longest first so greedy matching is correct.
+constexpr std::string_view multi_punct[] = {
+    "<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", ".*",
+};
+
+}  // namespace
+
+LexResult lex(std::string_view src)
+{
+    LexResult out;
+    std::size_t i = 0;
+    unsigned line = 1;
+    const std::size_t n = src.size();
+
+    const auto advance = [&](std::size_t count) {
+        for (std::size_t k = 0; k < count && i < n; ++k, ++i)
+        {
+            if (src[i] == '\n')
+            {
+                ++line;
+            }
+        }
+    };
+
+    while (i < n)
+    {
+        const char c = src[i];
+        if (c == '\n' || c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v')
+        {
+            advance(1);
+            continue;
+        }
+        // line comment
+        if (c == '/' && i + 1 < n && src[i + 1] == '/')
+        {
+            const unsigned start_line = line;
+            std::size_t j = i + 2;
+            while (j < n && src[j] != '\n')
+            {
+                ++j;
+            }
+            out.comments.push_back({std::string{src.substr(i + 2, j - i - 2)}, start_line, false});
+            advance(j - i);
+            continue;
+        }
+        // block comment
+        if (c == '/' && i + 1 < n && src[i + 1] == '*')
+        {
+            const unsigned start_line = line;
+            std::size_t j = i + 2;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/'))
+            {
+                ++j;
+            }
+            const std::size_t end = (j + 1 < n) ? j + 2 : n;
+            out.comments.push_back(
+                {std::string{src.substr(i + 2, (end >= i + 4 ? end - 2 : i + 2) - (i + 2))},
+                 start_line, true});
+            advance(end - i);
+            continue;
+        }
+        // preprocessor directive: consume through end of line, honoring
+        // backslash continuations, so '#define F(x) { bad }' cannot skew
+        // brace matching in the checks
+        if (c == '#')
+        {
+            const unsigned start_line = line;
+            std::size_t j = i + 1;
+            while (j < n && src[j] != '\n')
+            {
+                if (src[j] == '\\' && j + 1 < n && src[j + 1] == '\n')
+                {
+                    j += 2;
+                    continue;
+                }
+                ++j;
+            }
+            out.tokens.push_back(
+                {TokenKind::directive, std::string{src.substr(i + 1, j - i - 1)}, start_line});
+            advance(j - i);
+            continue;
+        }
+        // raw string literal R"delim( ... )delim"
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"')
+        {
+            std::size_t j = i + 2;
+            while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n')
+            {
+                ++j;
+            }
+            if (j < n && src[j] == '(')
+            {
+                const std::string closer =
+                    ")" + std::string{src.substr(i + 2, j - i - 2)} + "\"";
+                const std::size_t body = j + 1;
+                const std::size_t end = src.find(closer, body);
+                const std::size_t stop = (end == std::string_view::npos) ? n : end;
+                const unsigned start_line = line;
+                out.tokens.push_back(
+                    {TokenKind::string_lit, std::string{src.substr(body, stop - body)}, start_line});
+                advance(((end == std::string_view::npos) ? n : end + closer.size()) - i);
+                continue;
+            }
+            // fall through: plain identifier 'R'
+        }
+        // string / char literal
+        if (c == '"' || c == '\'')
+        {
+            const unsigned start_line = line;
+            std::size_t j = i + 1;
+            while (j < n && src[j] != c)
+            {
+                if (src[j] == '\\' && j + 1 < n)
+                {
+                    ++j;
+                }
+                ++j;
+            }
+            const std::size_t end = (j < n) ? j + 1 : n;
+            out.tokens.push_back({c == '"' ? TokenKind::string_lit : TokenKind::char_lit,
+                                  std::string{src.substr(i + 1, (end > i + 1 ? end - 1 : i + 1) - (i + 1))},
+                                  start_line});
+            advance(end - i);
+            continue;
+        }
+        // identifier / keyword
+        if (ident_start(c))
+        {
+            std::size_t j = i + 1;
+            while (j < n && ident_char(src[j]))
+            {
+                ++j;
+            }
+            out.tokens.push_back({TokenKind::identifier, std::string{src.substr(i, j - i)}, line});
+            advance(j - i);
+            continue;
+        }
+        // number (handles 0x1F, 1'000, 1.5e-3, suffixes; '.' must be
+        // digit-adjacent so member access never lexes as a number)
+        if (digit(c) || (c == '.' && i + 1 < n && digit(src[i + 1])))
+        {
+            std::size_t j = i + 1;
+            while (j < n && (ident_char(src[j]) || src[j] == '\'' || src[j] == '.' ||
+                             ((src[j] == '+' || src[j] == '-') && j > 0 &&
+                              (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+                               src[j - 1] == 'P'))))
+            {
+                ++j;
+            }
+            out.tokens.push_back({TokenKind::number, std::string{src.substr(i, j - i)}, line});
+            advance(j - i);
+            continue;
+        }
+        // punctuation, longest match first
+        bool matched = false;
+        for (const auto p : multi_punct)
+        {
+            if (src.substr(i, p.size()) == p)
+            {
+                out.tokens.push_back({TokenKind::punct, std::string{p}, line});
+                advance(p.size());
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+        {
+            out.tokens.push_back({TokenKind::punct, std::string(1, c), line});
+            advance(1);
+        }
+    }
+    return out;
+}
+
+}  // namespace bestagon::analysis

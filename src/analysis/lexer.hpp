@@ -1,0 +1,64 @@
+/// \file lexer.hpp
+/// \brief Self-contained C++ tokenizer for `bestagon_lint`.
+///
+/// The lint checks (see lint.hpp) operate on a flat token stream plus a
+/// side-channel of comments — no libclang, no preprocessor, so the tool
+/// builds and runs wherever CI does. The lexer understands everything the
+/// checks need to be robust on real code: line/block comments, string and
+/// character literals (including raw strings), numeric literals, identifiers
+/// and multi-character punctuators. Preprocessor directives are consumed as
+/// single `directive` tokens so macro bodies never confuse brace matching.
+///
+/// Fidelity bar: the checks must never mis-parse a literal or comment as
+/// code (that would fabricate diagnostics), but they may treat templates,
+/// overload sets and macros approximately — the checks are written to fail
+/// toward silence plus an explicit waiver mechanism, not toward noise.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bestagon::analysis
+{
+
+enum class TokenKind
+{
+    identifier,   ///< identifiers and keywords (checks match on text)
+    number,       ///< numeric literal (int/float, any base/suffix)
+    string_lit,   ///< "..." or R"(...)" (text excludes quotes)
+    char_lit,     ///< '...'
+    punct,        ///< operators and punctuation, longest-match
+    directive     ///< one whole preprocessor line (text excludes '#')
+};
+
+struct Token
+{
+    TokenKind kind{TokenKind::punct};
+    std::string text;
+    unsigned line{1};  ///< 1-based line of the token's first character
+};
+
+/// A comment, kept out of the code-token stream but retained for the waiver
+/// scanner. `text` excludes the comment markers.
+struct Comment
+{
+    std::string text;
+    unsigned line{1};
+    bool block{false};  ///< true for /* ... */ comments
+};
+
+struct LexResult
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+};
+
+/// Tokenizes \p source. Never throws on malformed input: an unterminated
+/// literal or comment is closed at end-of-file, so the checks always see a
+/// well-formed stream.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+}  // namespace bestagon::analysis

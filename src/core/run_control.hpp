@@ -25,6 +25,16 @@
 /// CLI drivers use `install_sigint_stop()`: the first Ctrl-C trips a
 /// process-wide StopSource (engines wind down and partial artifacts are
 /// still emitted), the second hard-exits.
+///
+/// Thread-safety contract (checked by the Clang `-Werror=thread-safety` CI
+/// build via core/thread_annotations.hpp): StopSource/StopToken and the
+/// SIGINT channel are deliberately capability-free — all shared state is a
+/// single lock-free `std::atomic<bool>`, safe from any thread and from
+/// signal handlers, so there is no mutex for `GUARDED_BY` to name. Deadline
+/// and RunBudget are immutable values (copied, never shared mutable).
+/// FlowDiagnostics/StageReport are single-writer: they belong to the flow
+/// thread that builds them and must not be mutated concurrently; publish a
+/// completed FlowDiagnostics to other threads only after the flow returns.
 
 #pragma once
 

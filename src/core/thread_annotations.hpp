@@ -1,0 +1,85 @@
+/// \file thread_annotations.hpp
+/// \brief Clang thread-safety capability annotations + an annotated mutex.
+///
+/// Wraps Clang's `-Wthread-safety` attribute set in macros that compile away
+/// on every other compiler, so annotated code builds everywhere while Clang
+/// CI builds (which add `-Werror=thread-safety`) statically verify the
+/// locking discipline: every `GUARDED_BY` member is only touched with its
+/// mutex held, every `REQUIRES` function is only called under the right
+/// lock, and every `ACQUIRE`/`RELEASE` pairs up.
+///
+/// libstdc++'s `std::mutex` carries no capability attributes, so locking it
+/// directly is invisible to the analysis. `core::Mutex` / `core::MutexLock`
+/// below wrap `std::mutex` / `std::unique_lock` with the attributes attached
+/// and zero behavioral difference; `MutexLock::native()` exposes the
+/// underlying `std::unique_lock` for `std::condition_variable::wait`.
+
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define BESTAGON_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BESTAGON_THREAD_ANNOTATION
+#define BESTAGON_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) BESTAGON_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY BESTAGON_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) BESTAGON_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) BESTAGON_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) BESTAGON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) BESTAGON_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) BESTAGON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) BESTAGON_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) BESTAGON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) BESTAGON_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) BESTAGON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) BESTAGON_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) BESTAGON_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS BESTAGON_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bestagon::core
+{
+
+/// `std::mutex` with the capability attribute attached so `-Wthread-safety`
+/// tracks what it guards. Same size/behavior as the wrapped mutex.
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    void lock() ACQUIRE() { m_.lock(); }
+    void unlock() RELEASE() { m_.unlock(); }
+    [[nodiscard]] bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /// The wrapped mutex, for APIs that need the std type (condition
+    /// variables). Callers must hold the capability.
+    [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+  private:
+    std::mutex m_;
+};
+
+/// RAII lock over `core::Mutex`, visible to the analysis as a scoped
+/// capability. Wraps `std::unique_lock` so condition variables can wait on
+/// it via `native()` (waits release and reacquire the mutex, which the
+/// analysis models as the capability being held across the wait).
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& mutex) ACQUIRE(mutex) : lock_{mutex.native()} {}
+    ~MutexLock() RELEASE() = default;
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    /// The underlying unique_lock, for std::condition_variable::wait.
+    [[nodiscard]] std::unique_lock<std::mutex>& native() noexcept { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace bestagon::core

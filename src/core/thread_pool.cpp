@@ -21,10 +21,10 @@ struct ParallelJob
     std::size_t count{0};
     const std::function<void(std::size_t)>* body{nullptr};
 
-    std::mutex mutex;
+    Mutex mutex;
     std::condition_variable done;
-    std::size_t pending{0};  ///< helper tasks still running
-    std::exception_ptr error;
+    std::size_t pending GUARDED_BY(mutex){0};  ///< helper tasks still running
+    std::exception_ptr error GUARDED_BY(mutex);
 
     void work() noexcept
     {
@@ -41,7 +41,7 @@ struct ParallelJob
             }
             catch (...)
             {
-                const std::lock_guard<std::mutex> lock{mutex};
+                const MutexLock lock{mutex};
                 if (!error)
                 {
                     error = std::current_exception();
@@ -85,7 +85,7 @@ ThreadPool::ThreadPool(unsigned num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        const std::lock_guard<std::mutex> lock{mutex_};
+        const MutexLock lock{mutex_};
         stop_ = true;
     }
     wake_.notify_all();
@@ -102,8 +102,14 @@ void ThreadPool::worker_loop()
     {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock{mutex_};
-            wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            MutexLock lock{mutex_};
+            // explicit wait loop (not the predicate overload) so the
+            // thread-safety analysis sees stop_/queue_ accessed with the
+            // capability held; the wait releases and reacquires the mutex
+            while (!stop_ && queue_.empty())
+            {
+                wake_.wait(lock.native());
+            }
             if (queue_.empty())
             {
                 return;  // stop requested and queue drained
@@ -118,7 +124,7 @@ void ThreadPool::worker_loop()
 void ThreadPool::enqueue(std::function<void()> task)
 {
     {
-        const std::lock_guard<std::mutex> lock{mutex_};
+        const MutexLock lock{mutex_};
         queue_.push_back(std::move(task));
     }
     wake_.notify_one();
@@ -135,13 +141,18 @@ void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& 
     job->body = &body;
 
     const std::size_t helpers = workers - 1;
-    job->pending = helpers;
+    {
+        // no helper exists yet, but the analysis (rightly) has no way to
+        // know that — take the uncontended lock for the initial store
+        const MutexLock lock{job->mutex};
+        job->pending = helpers;
+    }
     for (std::size_t h = 0; h < helpers; ++h)
     {
         enqueue([job] {
             job->work();
             {
-                const std::lock_guard<std::mutex> lock{job->mutex};
+                const MutexLock lock{job->mutex};
                 --job->pending;
             }
             job->done.notify_one();
@@ -150,8 +161,11 @@ void ThreadPool::run(std::size_t count, const std::function<void(std::size_t)>& 
 
     job->work();  // the calling thread participates
 
-    std::unique_lock<std::mutex> lock{job->mutex};
-    job->done.wait(lock, [&job] { return job->pending == 0; });
+    MutexLock lock{job->mutex};
+    while (job->pending != 0)
+    {
+        job->done.wait(lock.native());
+    }
     if (job->error)
     {
         std::rethrow_exception(job->error);

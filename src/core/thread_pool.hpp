@@ -23,13 +23,13 @@
 #pragma once
 
 #include "core/run_control.hpp"
+#include "core/thread_annotations.hpp"
 
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -81,13 +81,13 @@ class ThreadPool
 
   private:
     void worker_loop();
-    void enqueue(std::function<void()> task);
+    void enqueue(std::function<void()> task) EXCLUDES(mutex_);
 
-    std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    std::vector<std::thread> workers_;  ///< written by ctor/dtor only
+    Mutex mutex_;
+    std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
     std::condition_variable wake_;
-    bool stop_{false};
+    bool stop_ GUARDED_BY(mutex_){false};
 };
 
 /// Executes `body(i)` for all `i` in `[0, count)` using at most

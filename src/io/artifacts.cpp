@@ -12,6 +12,8 @@ std::string artifact_dir(const std::string& override_dir)
     std::string dir = override_dir;
     if (dir.empty())
     {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read on the driver thread
+        // before artifact writers fan out; nothing in the process calls setenv
         const char* env = std::getenv("BESTAGON_ARTIFACT_DIR");
         dir = env != nullptr && *env != '\0' ? env : "artifacts";
     }

@@ -106,7 +106,14 @@ enum class PairState : std::uint8_t
 /// linear scan over all sites.
 ///
 /// Immutable after construction and safe to share across the concurrent
-/// pattern fan-out of check_operational / design_gate scoring.
+/// pattern fan-out of check_operational / design_gate scoring. That is the
+/// whole thread-safety contract (checked structurally by the Clang
+/// `-Werror=thread-safety` CI build via core/thread_annotations.hpp): every
+/// member is written exactly once, in the constructor, and every public
+/// method is const — there is no mutable shared state for `GUARDED_BY` to
+/// name, so concurrent readers need no lock. Keep it that way: adding a
+/// mutable member (e.g. a lazy memo) requires a `core::Mutex` + `GUARDED_BY`
+/// or the TSan job and the capability analysis will both flag it.
 class GateInstanceCache
 {
   public:

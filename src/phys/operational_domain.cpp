@@ -44,6 +44,7 @@ OperationalDomain compute_operational_domain(const GateDesign& design, const Sim
     // concurrently, each writing its own row-major slot
     const std::size_t total = static_cast<std::size_t>(sweep.x_steps) * sweep.y_steps;
     domain.points.resize(total);
+    // bestagon-lint: no-poll-ok(coordinate pre-fill so points skipped after a stop still plot; the simulation fan-out below polls via the run-aware parallel_for)
     for (std::size_t index = 0; index < total; ++index)
     {
         // pre-fill coordinates so points skipped after a stop still plot

@@ -76,6 +76,7 @@ std::pair<ChargeConfig, double> quicksim_instance(const SiDBSystem& system,
     }
     const std::size_t removals =
         occupied.empty() ? 0 : instance % (occupied.size() + 1);
+    // bestagon-lint: no-poll-ok(bounded O(n) electron-removal setup; the hop loop below polls the budget every 64 hops)
     for (std::size_t r = 0; r < removals; ++r)
     {
         const std::size_t pick = rng() % occupied.size();
@@ -197,6 +198,7 @@ GroundStateResult quicksim_ground_state(const SiDBSystem& system, const QuickSim
         // distinct tying configurations — a lower bound on the degeneracy
         const double tol = system.parameters().energy_tolerance;
         std::vector<const ChargeConfig*> tied;
+        // bestagon-lint: no-poll-ok(post-run degeneracy count over the already-collected instance results; all engine work is done)
         for (const auto& [config, f] : instances)
         {
             if (f <= best.grand_potential + tol)

@@ -153,6 +153,7 @@ GroundStateResult simulated_annealing(const SiDBSystem& system, const SimAnnealP
         // bound on the true degeneracy (it used to be hardcoded to 1).
         const double tol = system.parameters().energy_tolerance;
         std::vector<const ChargeConfig*> tied;
+        // bestagon-lint: no-poll-ok(post-run degeneracy count over the already-collected instance results; all engine work is done)
         for (const auto& [config, f] : instances)
         {
             if (f <= best.grand_potential + tol)

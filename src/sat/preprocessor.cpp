@@ -154,6 +154,14 @@ void Preprocessor::derive_empty_clause()
 
 bool Preprocessor::budget_ok(const core::StopToken& stop, const core::Deadline& deadline)
 {
+    // once fired, stay fired: the strided fast path below must never report
+    // "budget ok" for a budget that already expired — without this latch a
+    // caller could do up to 63 more work items per poll site after the cut
+    // (the PR-4 budget-latch bug class, found by bestagon_lint check C)
+    if (stats_.cancelled)
+    {
+        return false;
+    }
     if ((++budget_tick_ & 63U) != 0)
     {
         return true;
@@ -223,6 +231,12 @@ bool Preprocessor::subsume_round(const core::StopToken& stop, const core::Deadli
         const auto& cands = occ_[static_cast<std::size_t>(pivot.x)];
         for (std::size_t k = 0; k < cands.size(); ++k)
         {
+            // occurrence lists are unbounded on dense formulas; poll inside
+            // the candidate scan too (strided, so the fast path stays cheap)
+            if (!budget_ok(stop, deadline))
+            {
+                return changed;
+            }
             const auto di = cands[k];
             if (di == ci || db_[di].deleted)
             {
@@ -253,6 +267,10 @@ bool Preprocessor::subsume_round(const core::StopToken& stop, const core::Deadli
             const std::uint64_t c_rest = c.sig & ~lit_sig(l);
             for (std::size_t k = 0; k < negs.size(); ++k)
             {
+                if (!budget_ok(stop, deadline))
+                {
+                    return changed;
+                }
                 const auto di = negs[k];
                 if (db_[di].deleted)
                 {
@@ -422,6 +440,11 @@ bool Preprocessor::eliminate_round(const core::StopToken& stop, core::Deadline c
     std::vector<std::uint32_t> occ_count(static_cast<std::size_t>(num_vars_), 0);
     for (std::uint32_t ci = 0; ci < db_.size(); ++ci)
     {
+        // the counting pass is O(|F|); a cut budget must not pay it in full
+        if (!budget_ok(stop, deadline))
+        {
+            return false;
+        }
         if (db_[ci].deleted)
         {
             continue;

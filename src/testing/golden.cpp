@@ -12,6 +12,8 @@ bool& update_goldens_flag()
 {
     static bool update = []
     {
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): read once under the static
+        // initializer lock; nothing in the process calls setenv
         const char* env = std::getenv("BESTAGON_UPDATE_GOLDENS");
         return env != nullptr && std::string{env} != "0" && std::string{env} != "";
     }();

@@ -1,0 +1,26 @@
+// Fixture: C1 — a function that accepts a run budget but never polls it
+// inside its engine loop. Seeded violation: the outer iteration loop.
+namespace fixture
+{
+
+struct RunBudget
+{
+    bool stopped() const;
+};
+
+int engine_step(int state);
+
+int run_engine(int iterations, const RunBudget& run)
+{
+    int acc = 0;
+    for (int i = 0; i < iterations; ++i)
+    {
+        for (int j = 0; j < 1024; ++j)
+        {
+            acc ^= engine_step(acc + i + j);
+        }
+    }
+    return acc;
+}
+
+}  // namespace fixture

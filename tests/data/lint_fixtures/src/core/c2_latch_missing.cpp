@@ -1,0 +1,28 @@
+// Fixture: C2 — a strided countdown whose reset always reloads the stride.
+// Once the budget fires, nothing writes 0 into the countdown, so a fired
+// budget is forgotten on the next reset (the PR-4 budget-latch bug class).
+namespace fixture
+{
+
+struct Budget
+{
+    long check_stride{256};
+    bool expired() const;
+};
+
+struct Engine
+{
+    long poll_countdown{0};
+
+    bool should_stop(const Budget& budget)
+    {
+        if (--poll_countdown <= 0)
+        {
+            poll_countdown = budget.check_stride;
+            return budget.expired();
+        }
+        return false;
+    }
+};
+
+}  // namespace fixture

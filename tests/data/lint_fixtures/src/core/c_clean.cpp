@@ -1,0 +1,62 @@
+// Fixture: clean cancellation — the engine loop polls its budget and the
+// strided countdown latches a fired budget by writing 0. Must produce zero
+// diagnostics.
+namespace fixture
+{
+
+struct RunBudget
+{
+    bool stopped() const;
+};
+
+struct Budget
+{
+    long check_stride{256};
+    bool expired() const;
+};
+
+int engine_step(int state);
+
+int run_engine(int iterations, const RunBudget& run)
+{
+    int acc = 0;
+    for (int i = 0; i < iterations; ++i)
+    {
+        if (run.stopped())
+        {
+            break;
+        }
+        for (int j = 0; j < 1024; ++j)
+        {
+            acc ^= engine_step(acc + i + j);
+        }
+    }
+    return acc;
+}
+
+struct Engine
+{
+    long poll_countdown{0};
+    bool fired{false};
+
+    bool should_stop(const Budget& budget)
+    {
+        if (fired)
+        {
+            return true;
+        }
+        if (--poll_countdown <= 0)
+        {
+            if (budget.expired())
+            {
+                fired = true;
+                poll_countdown = 0;
+                return true;
+            }
+            poll_countdown = budget.check_stride;
+        }
+        return false;
+    }
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: D1 — nondeterministic sources in a result-affecting directory.
+// Seeded violations: std::rand, std::random_device, std::chrono::system_clock.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace fixture
+{
+
+unsigned nondeterministic_seed()
+{
+    std::random_device entropy;
+    const auto wall = std::chrono::system_clock::now().time_since_epoch().count();
+    return entropy() + static_cast<unsigned>(std::rand()) + static_cast<unsigned>(wall);
+}
+
+}  // namespace fixture

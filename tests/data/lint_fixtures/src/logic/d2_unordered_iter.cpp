@@ -1,0 +1,26 @@
+// Fixture: D2 — iteration over unordered containers in a result-affecting
+// directory. Seeded violations: a range-for over an unordered_map and an
+// explicit .begin() traversal of an unordered_set.
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture
+{
+
+int sum_values(const std::unordered_map<int, int>& scores)
+{
+    int total = 0;
+    for (const auto& [key, value] : scores)
+    {
+        total += value;
+    }
+    return total;
+}
+
+int first_element(const std::unordered_set<int>& pool)
+{
+    const auto it = pool.begin();
+    return *it;
+}
+
+}  // namespace fixture

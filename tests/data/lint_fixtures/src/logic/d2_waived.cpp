@@ -1,0 +1,20 @@
+// Fixture: waiver round-trip — an unordered traversal that cannot affect any
+// result, suppressed by an ordered-ok waiver with a reason. Must produce zero
+// active diagnostics, one waived diagnostic and no stale-waiver error.
+#include <unordered_map>
+
+namespace fixture
+{
+
+int commutative_sum(const std::unordered_map<int, int>& scores)
+{
+    int total = 0;
+    // bestagon-lint: ordered-ok(accumulating a commutative integer sum; iteration order cannot reach the result)
+    for (const auto& [key, value] : scores)
+    {
+        total += value;
+    }
+    return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,36 @@
+// Fixture: clean determinism usage — unordered containers with keyed access
+// only, plus a deterministic <random> engine with a fixed seed. Must produce
+// zero diagnostics.
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture
+{
+
+int lookup(const std::unordered_map<int, int>& scores, int key)
+{
+    const auto it = scores.find(key);
+    return it == scores.end() ? 0 : it->second;
+}
+
+std::vector<int> present_keys(const std::unordered_map<int, int>& scores, int max_key)
+{
+    std::vector<int> keys;
+    for (int k = 0; k < max_key; ++k)
+    {
+        if (scores.count(k) != 0)
+        {
+            keys.push_back(k);
+        }
+    }
+    return keys;
+}
+
+int seeded_draw(std::uint64_t seed)
+{
+    std::mt19937_64 rng{seed};
+    return static_cast<int>(rng() & 0xFF);
+}
+
+}  // namespace fixture

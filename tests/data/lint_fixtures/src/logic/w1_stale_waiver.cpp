@@ -1,0 +1,16 @@
+// Fixture: W1 — a waiver that no longer suppresses anything. The traversal it
+// once covered was rewritten to keyed access, so the waiver is stale and must
+// be reported as an error.
+#include <unordered_map>
+
+namespace fixture
+{
+
+int lookup(const std::unordered_map<int, int>& scores, int key)
+{
+    // bestagon-lint: ordered-ok(left behind after the traversal below was rewritten)
+    const auto it = scores.find(key);
+    return it == scores.end() ? 0 : it->second;
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: W2 — a waiver without a reason. Reasons are mandatory; the bare
+// tag must be rejected and must NOT suppress the diagnostic underneath it.
+#include <unordered_map>
+
+namespace fixture
+{
+
+int sum_values(const std::unordered_map<int, int>& scores)
+{
+    int total = 0;
+    // bestagon-lint: ordered-ok()
+    for (const auto& [key, value] : scores)
+    {
+        total += value;
+    }
+    return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: W3 — an unknown waiver tag (typo of ordered-ok). Must be reported
+// so misspelled waivers fail loudly instead of silently not suppressing.
+#include <unordered_map>
+
+namespace fixture
+{
+
+int count_all(const std::unordered_map<int, int>& scores)
+{
+    // bestagon-lint: orderd-ok(typo in the tag name)
+    return static_cast<int>(scores.size());
+}
+
+}  // namespace fixture

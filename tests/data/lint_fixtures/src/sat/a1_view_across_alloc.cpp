@@ -1,0 +1,25 @@
+// Fixture: A1 — an arena clause handle held across a may-allocate call. The
+// alloc can grow the arena and move its storage, leaving the handle dangling.
+namespace fixture
+{
+
+struct ClauseView
+{
+    int size() const;
+    int operator[](int i) const;
+};
+
+struct Arena
+{
+    ClauseView view(unsigned ref);
+    unsigned alloc(int num_lits);
+};
+
+int dangling_read(Arena& arena, unsigned ref)
+{
+    const auto clause = arena.view(ref);
+    const unsigned fresh = arena.alloc(3);
+    return clause[0] + static_cast<int>(fresh);
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// Fixture: clean arena usage — handles are consumed before any may-allocate
+// call and re-fetched afterwards. Must produce zero diagnostics.
+namespace fixture
+{
+
+struct ClauseView
+{
+    int size() const;
+    int operator[](int i) const;
+};
+
+struct Arena
+{
+    ClauseView view(unsigned ref);
+    unsigned alloc(int num_lits);
+};
+
+int refetched_read(Arena& arena, unsigned ref)
+{
+    const auto clause = arena.view(ref);
+    const int first = clause[0];
+    const unsigned fresh = arena.alloc(3);
+    const auto refetched = arena.view(ref);
+    return first + refetched[0] + static_cast<int>(fresh);
+}
+
+}  // namespace fixture

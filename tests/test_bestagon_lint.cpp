@@ -1,0 +1,326 @@
+// Tests for the bestagon_lint invariant checker (src/analysis).
+//
+// Every check family is proven against the fixture corpus in
+// tests/data/lint_fixtures: each seeded violation is caught at the expected
+// granularity and each clean twin passes. The suite also locks down the
+// waiver round-trip (suppression, staleness, hygiene) and ends with the real
+// gate: linting the live src/ tree must be clean.
+
+#include "analysis/lexer.hpp"
+#include "analysis/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+using namespace bestagon::analysis;
+
+const std::string fixtures = BESTAGON_LINT_FIXTURE_DIR;
+
+std::string fixture(const std::string& rel)
+{
+    return fixtures + "/" + rel;
+}
+
+std::size_t count_id(const FileReport& report, CheckId id, bool waived = false)
+{
+    return static_cast<std::size_t>(
+        std::count_if(report.diagnostics.begin(), report.diagnostics.end(),
+                      [&](const Diagnostic& d) { return d.id == id && d.waived == waived; }));
+}
+
+// ---------------------------------------------------------------------------
+// lexer
+// ---------------------------------------------------------------------------
+
+TEST(LintLexer, TokenizesIdentifiersNumbersAndPunctuation)
+{
+    const auto lexed = lex("int x = 42 + foo(y);");
+    std::vector<std::string> texts;
+    for (const auto& t : lexed.tokens)
+    {
+        texts.push_back(t.text);
+    }
+    const std::vector<std::string> expected{"int", "x", "=",  "42", "+", "foo",
+                                            "(",   "y", ")",  ";"};
+    EXPECT_EQ(texts, expected);
+}
+
+TEST(LintLexer, CommentsGoToSideChannelNotTokenStream)
+{
+    const auto lexed = lex("a; // line comment\nb; /* block */ c;");
+    ASSERT_EQ(lexed.comments.size(), 2U);
+    EXPECT_EQ(lexed.comments[0].line, 1U);
+    EXPECT_FALSE(lexed.comments[0].block);
+    EXPECT_TRUE(lexed.comments[1].block);
+    for (const auto& t : lexed.tokens)
+    {
+        EXPECT_NE(t.text, "comment");
+    }
+}
+
+TEST(LintLexer, RawStringsAndEscapesDoNotConfuseTheLexer)
+{
+    const auto lexed = lex(R"src(auto s = R"(unbalanced " and // not a comment)"; auto t = "esc\"";)src");
+    EXPECT_TRUE(lexed.comments.empty());
+    const auto strings =
+        std::count_if(lexed.tokens.begin(), lexed.tokens.end(),
+                      [](const Token& t) { return t.kind == TokenKind::string_lit; });
+    EXPECT_EQ(strings, 2);
+}
+
+TEST(LintLexer, MalformedInputDoesNotThrow)
+{
+    EXPECT_NO_THROW((void)lex("\"unterminated"));
+    EXPECT_NO_THROW((void)lex("/* unterminated"));
+    EXPECT_NO_THROW((void)lex("R\"(unterminated"));
+}
+
+// ---------------------------------------------------------------------------
+// D: determinism
+// ---------------------------------------------------------------------------
+
+TEST(LintDeterminism, BannedRngFixtureIsCaught)
+{
+    const auto report = lint_file(fixture("src/logic/d1_banned_rng.cpp"));
+    EXPECT_EQ(count_id(report, CheckId::d_banned_rng), 3U)
+        << "std::random_device, system_clock and std::rand must each be flagged";
+    EXPECT_EQ(report.active_count(), 3U);
+}
+
+TEST(LintDeterminism, UnorderedIterationFixtureIsCaught)
+{
+    const auto report = lint_file(fixture("src/logic/d2_unordered_iter.cpp"));
+    EXPECT_EQ(count_id(report, CheckId::d_unordered_iter), 2U)
+        << "the range-for and the .begin() traversal must both be flagged";
+}
+
+TEST(LintDeterminism, CleanFixturePasses)
+{
+    const auto report = lint_file(fixture("src/logic/d_clean.cpp"));
+    EXPECT_EQ(report.active_count(), 0U)
+        << "keyed unordered access and seeded mt19937 are fine";
+}
+
+TEST(LintDeterminism, ChecksOnlyApplyInResultAffectingDirs)
+{
+    // the same banned-RNG source under a non-result-affecting path is ignored
+    const std::string source = "#include <cstdlib>\nint f() { return std::rand(); }\n";
+    EXPECT_EQ(lint_source("src/logic/f.cpp", source).active_count(), 1U);
+    EXPECT_EQ(lint_source("tools/f.cpp", source).active_count(), 0U);
+}
+
+// ---------------------------------------------------------------------------
+// C: cancellation
+// ---------------------------------------------------------------------------
+
+TEST(LintCancellation, UnpolledEngineLoopFixtureIsCaught)
+{
+    const auto report = lint_file(fixture("src/core/c1_unpolled_loop.cpp"));
+    EXPECT_EQ(count_id(report, CheckId::c_unpolled_loop), 1U)
+        << "exactly the outer engine loop must be flagged, not the tiny inner one";
+}
+
+TEST(LintCancellation, MissingCountdownLatchFixtureIsCaught)
+{
+    const auto report = lint_file(fixture("src/core/c2_latch_missing.cpp"));
+    EXPECT_EQ(count_id(report, CheckId::c_latch_missing), 1U);
+}
+
+TEST(LintCancellation, CleanFixturePasses)
+{
+    const auto report = lint_file(fixture("src/core/c_clean.cpp"));
+    EXPECT_EQ(report.active_count(), 0U)
+        << "a polled loop and a 0-latched countdown must both pass";
+}
+
+TEST(LintCancellation, PollingViaCalleeCountsAsAPoll)
+{
+    // passing the budget into the callee is an accepted polling pattern
+    const std::string source = R"(
+        int step(const RunBudget& run);
+        int drive(int n, const RunBudget& run)
+        {
+            int acc = 0;
+            for (int i = 0; i < n; ++i)
+            {
+                for (int j = 0; j < n; ++j)
+                {
+                    acc += step(run);
+                }
+            }
+            return acc;
+        }
+    )";
+    EXPECT_EQ(lint_source("src/core/x.cpp", source).active_count(), 0U);
+}
+
+// ---------------------------------------------------------------------------
+// A: arena-ref stability
+// ---------------------------------------------------------------------------
+
+TEST(LintArena, HandleAcrossAllocFixtureIsCaught)
+{
+    const auto report = lint_file(fixture("src/sat/a1_view_across_alloc.cpp"));
+    EXPECT_EQ(count_id(report, CheckId::a_ref_across_alloc), 1U);
+}
+
+TEST(LintArena, RefetchedHandleFixturePasses)
+{
+    const auto report = lint_file(fixture("src/sat/a_clean.cpp"));
+    EXPECT_EQ(report.active_count(), 0U)
+        << "consuming before the alloc and re-fetching after it is the sanctioned pattern";
+}
+
+TEST(LintArena, CheckOnlyAppliesInArenaDirs)
+{
+    const std::string source = R"(
+        int f(Arena& arena, unsigned ref)
+        {
+            const auto c = arena.view(ref);
+            arena.alloc(3);
+            return c[0];
+        }
+    )";
+    EXPECT_EQ(lint_source("src/sat/f.cpp", source).active_count(), 1U);
+    EXPECT_EQ(lint_source("src/phys/f.cpp", source).active_count(), 0U);
+}
+
+// ---------------------------------------------------------------------------
+// W: waiver hygiene
+// ---------------------------------------------------------------------------
+
+TEST(LintWaivers, WaiverRoundTripSuppressesAndIsNotStale)
+{
+    const auto report = lint_file(fixture("src/logic/d2_waived.cpp"));
+    EXPECT_EQ(report.active_count(), 0U);
+    EXPECT_EQ(count_id(report, CheckId::d_unordered_iter, /*waived=*/true), 1U);
+    ASSERT_EQ(report.waivers.size(), 1U);
+    EXPECT_TRUE(report.waivers.front().used);
+    EXPECT_FALSE(report.waivers.front().reason.empty());
+}
+
+TEST(LintWaivers, StaleWaiverIsAnError)
+{
+    const auto report = lint_file(fixture("src/logic/w1_stale_waiver.cpp"));
+    EXPECT_EQ(count_id(report, CheckId::w_stale_waiver), 1U);
+    EXPECT_EQ(report.active_count(), 1U);
+}
+
+TEST(LintWaivers, EmptyReasonIsAnErrorAndDoesNotSuppress)
+{
+    const auto report = lint_file(fixture("src/logic/w2_empty_reason.cpp"));
+    EXPECT_EQ(count_id(report, CheckId::w_empty_reason), 1U);
+    EXPECT_EQ(count_id(report, CheckId::d_unordered_iter), 1U)
+        << "a reasonless waiver must not suppress the diagnostic underneath it";
+}
+
+TEST(LintWaivers, UnknownTagIsAnError)
+{
+    const auto report = lint_file(fixture("src/logic/w3_unknown_tag.cpp"));
+    EXPECT_EQ(count_id(report, CheckId::w_unknown_tag), 1U);
+}
+
+TEST(LintWaivers, DocCommentsMentioningTheMarkerAreNotWaivers)
+{
+    const std::string source =
+        "/// The waiver syntax is `// bestagon-lint: ordered-ok(reason)`.\n"
+        "int x;\n";
+    const auto report = lint_source("src/logic/doc.cpp", source);
+    EXPECT_TRUE(report.waivers.empty());
+    EXPECT_EQ(report.active_count(), 0U);
+}
+
+// ---------------------------------------------------------------------------
+// drivers
+// ---------------------------------------------------------------------------
+
+TEST(LintDrivers, MissingFileReportsInsteadOfThrowing)
+{
+    const auto report = lint_file(fixture("does/not/exist.cpp"));
+    EXPECT_EQ(report.active_count(), 1U);
+}
+
+TEST(LintDrivers, DirectoryWalkIsSortedAndComplete)
+{
+    const auto reports = lint_paths({fixtures});
+    ASSERT_GE(reports.size(), 11U);
+    EXPECT_TRUE(std::is_sorted(reports.begin(), reports.end(),
+                               [](const FileReport& a, const FileReport& b)
+                               { return a.file < b.file; }));
+    // the corpus as a whole is deliberately dirty
+    std::size_t active = 0;
+    for (const auto& r : reports)
+    {
+        active += r.active_count();
+    }
+    EXPECT_GT(active, 0U);
+}
+
+TEST(LintDrivers, CompileCommandsFileListIsParsedFilteredAndSorted)
+{
+    const auto dir = std::filesystem::temp_directory_path() / "bestagon_lint_test";
+    std::filesystem::create_directories(dir);
+    const auto json = dir / "compile_commands.json";
+    {
+        std::ofstream out{json};
+        out << R"([
+            {"directory": "/b", "command": "c++ -c z.cpp", "file": "/repo/src/sat/z.cpp"},
+            {"directory": "/b", "command": "c++ -c a.cpp", "file": "/repo/src/logic/a.cpp"},
+            {"directory": "/b", "command": "c++ -c a.cpp", "file": "/repo/src/logic/a.cpp"},
+            {"directory": "/b", "command": "c++ -c t.cpp", "file": "/repo/tools/t.cpp"}
+        ])";
+    }
+    const auto all = compile_commands_files(json.string());
+    const std::vector<std::string> expected_all{"/repo/src/logic/a.cpp", "/repo/src/sat/z.cpp",
+                                                "/repo/tools/t.cpp"};
+    EXPECT_EQ(all, expected_all);
+    const auto filtered = compile_commands_files(json.string(), "src/");
+    const std::vector<std::string> expected_filtered{"/repo/src/logic/a.cpp",
+                                                     "/repo/src/sat/z.cpp"};
+    EXPECT_EQ(filtered, expected_filtered);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(LintDrivers, FormatIsStable)
+{
+    const Diagnostic d{CheckId::d_unordered_iter, "src/logic/x.cpp", 12, "msg", false};
+    EXPECT_EQ(format(d), "src/logic/x.cpp:12: [D2] msg");
+}
+
+// ---------------------------------------------------------------------------
+// the real gate: the live tree must be clean
+// ---------------------------------------------------------------------------
+
+TEST(LintGate, LiveSourceTreeIsClean)
+{
+    const auto reports = lint_paths({BESTAGON_SRC_DIR});
+    ASSERT_GT(reports.size(), 50U) << "the walk must actually find the source tree";
+    std::size_t active = 0;
+    std::size_t waived = 0;
+    for (const auto& r : reports)
+    {
+        for (const auto& d : r.diagnostics)
+        {
+            if (d.waived)
+            {
+                ++waived;
+                continue;
+            }
+            ++active;
+            ADD_FAILURE() << format(d);
+        }
+    }
+    EXPECT_EQ(active, 0U);
+    EXPECT_GT(waived, 0U) << "the tree carries justified waivers; they must keep suppressing";
+}
+
+}  // namespace

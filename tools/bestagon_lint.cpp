@@ -1,0 +1,141 @@
+/// \file bestagon_lint.cpp
+/// \brief CLI driver for the project-specific invariant checks (src/analysis).
+///
+/// Usage:
+///   bestagon_lint [options] [paths...]
+///     paths                  files, or directories recursed for .hpp/.cpp
+///     --compile-commands=F   lint the "file" entries of a
+///                            compile_commands.json (combine with --filter)
+///     --filter=SUBSTR        keep only compile-commands entries whose path
+///                            contains SUBSTR (default: src/)
+///     --checks=D,C,A,W       enable only the listed check families
+///     --include-waived       also print (waived) diagnostics
+///     --list-checks          print the check catalog and exit
+///
+/// Exit status: 0 clean, 1 diagnostics found, 2 usage or IO error.
+
+#include "analysis/lint.hpp"
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace
+{
+
+using namespace bestagon::analysis;
+
+void print_catalog()
+{
+    std::puts(
+        "bestagon_lint check catalog (waive with `// bestagon-lint: tag(reason)`\n"
+        "on the flagged line or the line above; see DESIGN.md §12):\n"
+        "  D1  banned nondeterministic source (std::rand/srand, random_device,\n"
+        "      system_clock) in result-affecting code        [waiver: rng-ok]\n"
+        "  D2  range-for / iterator traversal of an unordered container in\n"
+        "      result-affecting code                         [waiver: ordered-ok]\n"
+        "  C1  loop does engine work without polling the function's\n"
+        "      RunBudget/StopToken/Deadline parameter        [waiver: no-poll-ok]\n"
+        "  C2  budget-poll countdown reset from its stride without a 0-latch\n"
+        "      (a fired budget would un-fire)                [waiver: latch-ok]\n"
+        "  A1  clause-arena handle (ClauseView/Clause*) used across a call\n"
+        "      that may allocate or GC the arena             [waiver: ref-ok]\n"
+        "  W1  stale waiver (suppresses nothing)             [not waivable]\n"
+        "  W2  waiver without a reason                       [not waivable]\n"
+        "  W3  unknown waiver tag                            [not waivable]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    std::vector<std::string> paths;
+    std::string compile_commands;
+    std::string filter = "src/";
+    bool include_waived = false;
+    LintOptions options;
+
+    for (int i = 1; i < argc; ++i)
+    {
+        const std::string_view arg{argv[i]};
+        if (arg == "--list-checks")
+        {
+            print_catalog();
+            return 0;
+        }
+        if (arg == "--include-waived")
+        {
+            include_waived = true;
+        }
+        else if (arg.rfind("--compile-commands=", 0) == 0)
+        {
+            compile_commands = std::string{arg.substr(19)};
+        }
+        else if (arg.rfind("--filter=", 0) == 0)
+        {
+            filter = std::string{arg.substr(9)};
+        }
+        else if (arg.rfind("--checks=", 0) == 0)
+        {
+            const std::string_view list = arg.substr(9);
+            options.check_determinism = list.find('D') != std::string_view::npos;
+            options.check_cancellation = list.find('C') != std::string_view::npos;
+            options.check_arena = list.find('A') != std::string_view::npos;
+            options.check_waivers = list.find('W') != std::string_view::npos;
+        }
+        else if (arg.rfind("--", 0) == 0)
+        {
+            std::fprintf(stderr, "bestagon_lint: unknown option '%s'\n", argv[i]);
+            return 2;
+        }
+        else
+        {
+            paths.emplace_back(arg);
+        }
+    }
+
+    if (!compile_commands.empty())
+    {
+        auto files = compile_commands_files(compile_commands, filter);
+        if (files.empty())
+        {
+            std::fprintf(stderr, "bestagon_lint: no matching files in %s\n",
+                         compile_commands.c_str());
+            return 2;
+        }
+        paths.insert(paths.end(), files.begin(), files.end());
+    }
+    if (paths.empty())
+    {
+        std::fprintf(stderr,
+                     "usage: bestagon_lint [--compile-commands=F] [--filter=S] "
+                     "[--checks=D,C,A,W] [--include-waived] [--list-checks] paths...\n");
+        return 2;
+    }
+
+    std::size_t active = 0;
+    std::size_t waived = 0;
+    std::size_t files = 0;
+    for (const auto& report : lint_paths(paths, options))
+    {
+        ++files;
+        for (const auto& d : report.diagnostics)
+        {
+            if (d.waived)
+            {
+                ++waived;
+                if (include_waived)
+                {
+                    std::printf("%s\n", format(d).c_str());
+                }
+                continue;
+            }
+            ++active;
+            std::printf("%s\n", format(d).c_str());
+        }
+    }
+    std::printf("bestagon_lint: %zu file(s), %zu diagnostic(s), %zu waived\n", files, active,
+                waived);
+    return active == 0 ? 0 : 1;
+}
