@@ -277,7 +277,10 @@ struct Checker
             }
         }
 
-        // pass 2b: iterator traversal via .begin()/.cbegin()/.rbegin()
+        // pass 2b: iterator traversal via .begin()/.cbegin()/.rbegin(). A
+        // begin()/end() pair passed together to a constructor or algorithm
+        // (std::vector v(m.begin(), m.end()), std::copy, ...) is the
+        // sanctioned snapshot remediation, not a traversal — skip it.
         for (std::size_t i = 0; i + 3 < tokens.size(); ++i)
         {
             if (tokens[i].kind == TokenKind::identifier &&
@@ -287,6 +290,19 @@ struct Checker
                  is_ident(tokens[i + 2], "rbegin")) &&
                 is_punct(tokens[i + 3], "("))
             {
+                const bool snapshot_pair =
+                    i + 9 < tokens.size() && is_punct(tokens[i + 4], ")") &&
+                    is_punct(tokens[i + 5], ",") &&
+                    tokens[i + 6].kind == TokenKind::identifier &&
+                    tokens[i + 6].text == tokens[i].text &&
+                    (is_punct(tokens[i + 7], ".") || is_punct(tokens[i + 7], "->")) &&
+                    (is_ident(tokens[i + 8], "end") || is_ident(tokens[i + 8], "cend") ||
+                     is_ident(tokens[i + 8], "rend")) &&
+                    is_punct(tokens[i + 9], "(");
+                if (snapshot_pair)
+                {
+                    continue;
+                }
                 diag(CheckId::d_unordered_iter, tokens[i].line,
                      "iterator traversal of unordered container '" + tokens[i].text +
                          "': iteration order is implementation-defined and can leak into "
@@ -545,7 +561,10 @@ struct Checker
 
     void check_countdown_latch()
     {
-        bool has_zero_latch = false;
+        // latches are matched per countdown-variable name: a 0-latch on one
+        // countdown must not excuse a never-latched countdown elsewhere in
+        // the same file
+        std::unordered_set<std::string> latched;
         std::vector<std::pair<unsigned, std::string>> resets;
         for (std::size_t i = 0; i + 2 < tokens.size(); ++i)
         {
@@ -572,19 +591,19 @@ struct Checker
             }
             if (is_zero)
             {
-                has_zero_latch = true;
+                latched.insert(tokens[i].text);
             }
             else if (from_stride)
             {
                 resets.emplace_back(tokens[i].line, tokens[i].text);
             }
         }
-        if (has_zero_latch)
-        {
-            return;
-        }
         for (const auto& [line, name] : resets)
         {
+            if (latched.count(name) != 0)
+            {
+                continue;
+            }
             diag(CheckId::c_latch_missing, line,
                  "'" + name +
                      "' is reset from its stride but never latched to 0: a fired time "
@@ -815,7 +834,27 @@ void apply_waivers(FileReport& report)
     }
 }
 
-void check_waiver_hygiene(FileReport& report)
+/// Whether the check family a waiver tag belongs to actually ran. A waiver
+/// of a disabled family cannot have been used, so it must not count as
+/// stale under a partial --checks selection.
+[[nodiscard]] bool waiver_family_enabled(const std::string& tag, const LintOptions& options)
+{
+    if (tag == "rng-ok" || tag == "ordered-ok")
+    {
+        return options.check_determinism;
+    }
+    if (tag == "no-poll-ok" || tag == "latch-ok")
+    {
+        return options.check_cancellation;
+    }
+    if (tag == "ref-ok")
+    {
+        return options.check_arena;
+    }
+    return true;
+}
+
+void check_waiver_hygiene(FileReport& report, const LintOptions& options)
 {
     for (const auto& w : report.waivers)
     {
@@ -837,7 +876,7 @@ void check_waiver_hygiene(FileReport& report)
                  false});
             continue;
         }
-        if (!w.used)
+        if (!w.used && waiver_family_enabled(w.tag, options))
         {
             report.diagnostics.push_back(
                 {CheckId::w_stale_waiver, report.file, w.line,
@@ -862,6 +901,7 @@ const char* check_code(CheckId id) noexcept
         case CheckId::w_stale_waiver: return "W1";
         case CheckId::w_empty_reason: return "W2";
         case CheckId::w_unknown_tag: return "W3";
+        case CheckId::io_error: return "IO";
     }
     return "?";
 }
@@ -877,7 +917,8 @@ const char* waiver_tag(CheckId id) noexcept
         case CheckId::a_ref_across_alloc: return "ref-ok";
         case CheckId::w_stale_waiver:
         case CheckId::w_empty_reason:
-        case CheckId::w_unknown_tag: return "";
+        case CheckId::w_unknown_tag:
+        case CheckId::io_error: return "";
     }
     return "";
 }
@@ -915,7 +956,7 @@ FileReport lint_source(std::string_view path, std::string_view source, const Lin
     apply_waivers(report);
     if (options.check_waivers)
     {
-        check_waiver_hygiene(report);
+        check_waiver_hygiene(report, options);
     }
     std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
                      [](const Diagnostic& a, const Diagnostic& b) { return a.line < b.line; });
@@ -930,7 +971,7 @@ FileReport lint_file(const std::string& path, const LintOptions& options)
         FileReport report;
         report.file = path;
         report.diagnostics.push_back(
-            {CheckId::w_stale_waiver, path, 0, "cannot read file", false});
+            {CheckId::io_error, path, 0, "cannot read file", false});
         return report;
     }
     std::ostringstream buffer;

@@ -56,7 +56,8 @@ enum class CheckId
     a_ref_across_alloc,  ///< A1: arena handle used across a may-allocate call
     w_stale_waiver,      ///< W1: waiver that suppressed nothing
     w_empty_reason,      ///< W2: waiver without a reason
-    w_unknown_tag        ///< W3: waiver with an unknown tag
+    w_unknown_tag,       ///< W3: waiver with an unknown tag
+    io_error             ///< IO: input file could not be read (CLI exits 2)
 };
 
 /// Stable short code of a check ("D1", "C2", ...), used in output and docs.
@@ -121,7 +122,8 @@ struct FileReport
                                      const LintOptions& options = {});
 
 /// Lints a file from disk. A missing/unreadable file yields a single
-/// diagnostic rather than a throw, so batch runs report and continue.
+/// io_error diagnostic rather than a throw, so batch runs report and
+/// continue (the CLI maps any io_error to exit code 2).
 [[nodiscard]] FileReport lint_file(const std::string& path, const LintOptions& options = {});
 
 /// Lints files and directories (recursed for .hpp/.h/.cpp/.cc) in

@@ -12,8 +12,9 @@ std::string artifact_dir(const std::string& override_dir)
     std::string dir = override_dir;
     if (dir.empty())
     {
-        // NOLINTNEXTLINE(concurrency-mt-unsafe): read on the driver thread
-        // before artifact writers fan out; nothing in the process calls setenv
+        // read on the driver thread before artifact writers fan out; nothing
+        // in the process calls setenv
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         const char* env = std::getenv("BESTAGON_ARTIFACT_DIR");
         dir = env != nullptr && *env != '\0' ? env : "artifacts";
     }

@@ -215,8 +215,9 @@ const SolverStats& PreprocessingBackend::stats() const
 
 BackendSelection backend_selection_from_env(BackendSelection fallback)
 {
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at backend selection,
-    // before any solver thread exists; nothing in the process calls setenv
+    // read once at backend selection, before any solver thread exists; nothing
+    // in the process calls setenv
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("BESTAGON_SAT_BACKEND");
     if (env == nullptr)
     {

@@ -12,8 +12,9 @@ bool& update_goldens_flag()
 {
     static bool update = []
     {
-        // NOLINTNEXTLINE(concurrency-mt-unsafe): read once under the static
-        // initializer lock; nothing in the process calls setenv
+        // read once under the static initializer lock; nothing in the process
+        // calls setenv
+        // NOLINTNEXTLINE(concurrency-mt-unsafe)
         const char* env = std::getenv("BESTAGON_UPDATE_GOLDENS");
         return env != nullptr && std::string{env} != "0" && std::string{env} != "";
     }();

@@ -36,13 +36,15 @@ FuzzBudget fuzz_budget(std::uint64_t default_seed, unsigned default_iterations)
 {
     FuzzBudget budget{default_seed, default_iterations};
     std::uint64_t value = 0;
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): fuzz budgets are read once at
-    // suite start on the main thread; nothing in the process calls setenv
+    // fuzz budgets are read once at suite start on the main thread; nothing in
+    // the process calls setenv
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (parse_u64(std::getenv("BESTAGON_FUZZ_SEED"), value))
     {
         budget.base_seed = value;
     }
-    // NOLINTNEXTLINE(concurrency-mt-unsafe): same single-threaded read-once path
+    // same single-threaded read-once path as above
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (parse_u64(std::getenv("BESTAGON_FUZZ_SCALE"), value))
     {
         const auto scale = std::clamp<std::uint64_t>(value, 1, 1000);

@@ -110,6 +110,27 @@ TEST(LintDeterminism, CleanFixturePasses)
         << "keyed unordered access and seeded mt19937 are fine";
 }
 
+TEST(LintDeterminism, SortedSnapshotConstructionIsNotFlagged)
+{
+    // the remediation the D2 message recommends must itself lint clean
+    const std::string source = R"(
+        #include <algorithm>
+        #include <unordered_map>
+        #include <utility>
+        #include <vector>
+
+        std::vector<std::pair<int, int>> sorted(const std::unordered_map<int, int>& m)
+        {
+            std::vector<std::pair<int, int>> v(m.begin(), m.end());
+            std::sort(v.begin(), v.end());
+            return v;
+        }
+    )";
+    const auto report = lint_source("src/logic/snap.cpp", source);
+    EXPECT_EQ(count_id(report, CheckId::d_unordered_iter), 0U)
+        << "a begin()/end() pair handed to a constructor is the sanctioned snapshot";
+}
+
 TEST(LintDeterminism, ChecksOnlyApplyInResultAffectingDirs)
 {
     // the same banned-RNG source under a non-result-affecting path is ignored
@@ -140,6 +161,33 @@ TEST(LintCancellation, CleanFixturePasses)
     const auto report = lint_file(fixture("src/core/c_clean.cpp"));
     EXPECT_EQ(report.active_count(), 0U)
         << "a polled loop and a 0-latched countdown must both pass";
+}
+
+TEST(LintCancellation, LatchesAreTrackedPerCountdownVariable)
+{
+    // the latched countdown must not excuse the unlatched one next to it
+    const std::string source = R"(
+        struct Engine
+        {
+            long poll_countdown{0};
+            long flush_countdown{0};
+
+            void tick(long check_stride)
+            {
+                if (--poll_countdown <= 0)
+                {
+                    poll_countdown = 0;
+                }
+                if (--flush_countdown <= 0)
+                {
+                    flush_countdown = check_stride;
+                }
+            }
+        };
+    )";
+    const auto report = lint_source("src/core/x.cpp", source);
+    EXPECT_EQ(count_id(report, CheckId::c_latch_missing), 1U)
+        << "only flush_countdown lacks a 0-latch; poll_countdown's latch must not cover it";
 }
 
 TEST(LintCancellation, PollingViaCalleeCountsAsAPoll)
@@ -229,6 +277,38 @@ TEST(LintWaivers, UnknownTagIsAnError)
     EXPECT_EQ(count_id(report, CheckId::w_unknown_tag), 1U);
 }
 
+TEST(LintWaivers, DisabledFamilyWaiverIsNotStale)
+{
+    // a waiver of a family that did not run cannot have been used — partial
+    // --checks selections must not turn legitimate waivers into W1 failures
+    const std::string source = R"(
+        int step(int);
+        int drive(int n, const RunBudget& run)
+        {
+            int acc = 0;
+            // bestagon-lint: no-poll-ok(loop bounded by caller, sub-ms)
+            for (int i = 0; i < n; ++i)
+            {
+                acc += step(acc) + step(i) + step(n) + step(acc + i) + step(acc - n) +
+                       step(i * n) + step(acc * i) + step(acc + n) + step(i - n) + step(n * n);
+            }
+            return acc;
+        }
+    )";
+    LintOptions all;
+    const auto full = lint_source("src/core/x.cpp", source, all);
+    EXPECT_EQ(count_id(full, CheckId::w_stale_waiver), 0U)
+        << "with cancellation enabled the waiver is used, not stale";
+
+    LintOptions partial;  // --checks=D,W
+    partial.check_cancellation = false;
+    partial.check_arena = false;
+    const auto report = lint_source("src/core/x.cpp", source, partial);
+    EXPECT_EQ(count_id(report, CheckId::w_stale_waiver), 0U)
+        << "C never ran, so its waiver must not count as stale";
+    EXPECT_EQ(report.active_count(), 0U);
+}
+
 TEST(LintWaivers, DocCommentsMentioningTheMarkerAreNotWaivers)
 {
     const std::string source =
@@ -243,10 +323,12 @@ TEST(LintWaivers, DocCommentsMentioningTheMarkerAreNotWaivers)
 // drivers
 // ---------------------------------------------------------------------------
 
-TEST(LintDrivers, MissingFileReportsInsteadOfThrowing)
+TEST(LintDrivers, MissingFileReportsIoErrorInsteadOfThrowing)
 {
     const auto report = lint_file(fixture("does/not/exist.cpp"));
     EXPECT_EQ(report.active_count(), 1U);
+    EXPECT_EQ(count_id(report, CheckId::io_error), 1U)
+        << "read failures are IO errors, not waiver-hygiene findings";
 }
 
 TEST(LintDrivers, DirectoryWalkIsSortedAndComplete)

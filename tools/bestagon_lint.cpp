@@ -117,11 +117,18 @@ int main(int argc, char** argv)
     std::size_t active = 0;
     std::size_t waived = 0;
     std::size_t files = 0;
+    std::size_t io_errors = 0;
     for (const auto& report : lint_paths(paths, options))
     {
         ++files;
         for (const auto& d : report.diagnostics)
         {
+            if (d.id == CheckId::io_error)
+            {
+                ++io_errors;
+                std::fprintf(stderr, "%s\n", format(d).c_str());
+                continue;
+            }
             if (d.waived)
             {
                 ++waived;
@@ -137,5 +144,9 @@ int main(int argc, char** argv)
     }
     std::printf("bestagon_lint: %zu file(s), %zu diagnostic(s), %zu waived\n", files, active,
                 waived);
+    if (io_errors != 0)
+    {
+        return 2;
+    }
     return active == 0 ? 0 : 1;
 }
