@@ -1,0 +1,127 @@
+/// \file bench_defects.cpp
+/// \brief Throughput of the Monte-Carlo defect yield sweep — the robustness
+///        analysis loop of the flow. Sweeps the validated Bestagon OR gate
+///        over seeded defect surfaces at three fab-realistic densities;
+///        every sample is an independent defect-aware check_operational call
+///        (4 input patterns), fanned out over the thread pool.
+///
+/// Run as:  bench_defects
+/// The Threads<N> rows share one workload; the yield counter is identical
+/// across thread counts (sample seeds are derived per index, not per
+/// worker). The PerSample rows isolate the cost of one defect-aware
+/// operational check against the defect-free baseline.
+
+#include "layout/bestagon_library.hpp"
+#include "phys/defect_sweep.hpp"
+#include "phys/operational.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <stdexcept>
+
+namespace
+{
+
+using namespace bestagon::phys;
+
+const GateDesign& or_gate()
+{
+    for (const auto& impl : bestagon::layout::BestagonLibrary::instance().all())
+    {
+        if (impl.design.name == "or" && impl.simulation_validated)
+        {
+            return impl.design;
+        }
+    }
+    throw std::logic_error{"no validated OR gate in the library"};
+}
+
+DefectSweepParams sweep_params(unsigned threads)
+{
+    DefectSweepParams sweep;
+    sweep.densities_per_nm2 = {0.002, 0.005, 0.01};
+    sweep.samples = 24;
+    sweep.seed = 0xbe57a60d;
+    sweep.num_threads = threads;
+    return sweep;
+}
+
+void BM_DefectYieldSweep(benchmark::State& state)
+{
+    const auto& design = or_gate();
+    const auto sweep = sweep_params(static_cast<unsigned>(state.range(0)));
+    const SimulationParameters params;  // library calibration point
+
+    double yield = 0.0;
+    for (auto _ : state)
+    {
+        const auto result = defect_yield_sweep(design, params, sweep);
+        yield = result.points.back().yield();
+        benchmark::DoNotOptimize(result);
+    }
+    state.counters["yield"] = yield;  // identical across thread counts
+    state.counters["samples/s"] = benchmark::Counter(
+        static_cast<double>(sweep.samples) * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+
+/// One defect-aware operational check on a fixed charged surface — the unit
+/// of work the sweep fans out.
+void BM_PerSampleCheck(benchmark::State& state)
+{
+    const auto& design = or_gate();
+    SimulationParameters params;
+    params.num_threads = 1;
+
+    const auto region = sweep_region(design, 5.0);
+    DefectSampleParams sample_params;
+    sample_params.density_per_nm2 = 0.005;
+    // walk the seed stream to a surface that does NOT block an instance
+    // site, so the loop measures full simulations rather than the blocked
+    // short-circuit
+    DefectSurface surface;
+    for (std::uint64_t seed = 0xbe57a60d;; ++seed)
+    {
+        surface = sample_defect_surface(region, sample_params, seed);
+        if (!GateInstanceCache{design, params, &surface}.blocked())
+        {
+            break;
+        }
+    }
+
+    for (auto _ : state)
+    {
+        const auto result = check_operational(design, params, surface);
+        benchmark::DoNotOptimize(result);
+    }
+}
+
+/// The defect-free baseline of the same check: the difference is the total
+/// cost of the defect path (blocking scan + external-potential rows).
+void BM_PerSampleCheckDefectFree(benchmark::State& state)
+{
+    const auto& design = or_gate();
+    SimulationParameters params;
+    params.num_threads = 1;
+
+    for (auto _ : state)
+    {
+        const auto result = check_operational(design, params);
+        benchmark::DoNotOptimize(result);
+    }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DefectYieldSweep)
+    ->Arg(1)   // serial baseline
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)   // hardware concurrency
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+BENCHMARK(BM_PerSampleCheck)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PerSampleCheckDefectFree)->Unit(benchmark::kMillisecond);

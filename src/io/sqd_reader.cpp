@@ -1,0 +1,258 @@
+#include "io/sqd_reader.hpp"
+
+#include <cstdlib>
+#include <istream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bestagon::io
+{
+
+namespace
+{
+
+/// Value of attribute \p attr inside the tag text \p tag ('name="value"').
+std::optional<std::string> attribute(const std::string& tag, const std::string& attr)
+{
+    const std::string needle = attr + "=\"";
+    const auto pos = tag.find(needle);
+    if (pos == std::string::npos)
+    {
+        return std::nullopt;
+    }
+    const auto begin = pos + needle.size();
+    const auto end = tag.find('"', begin);
+    if (end == std::string::npos)
+    {
+        return std::nullopt;
+    }
+    return tag.substr(begin, end - begin);
+}
+
+std::optional<int> parse_int(const std::string& text)
+{
+    const char* s = text.c_str();
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0')
+    {
+        return std::nullopt;
+    }
+    return static_cast<int>(v);
+}
+
+std::optional<double> parse_double(const std::string& text)
+{
+    const char* s = text.c_str();
+    char* end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+    {
+        return std::nullopt;
+    }
+    return v;
+}
+
+/// The text of the first \p tag element inside \p block ("<tag ... />" or
+/// "<tag ...>"), or nullopt.
+std::optional<std::string> first_tag(const std::string& block, const std::string& tag)
+{
+    const auto pos = block.find("<" + tag);
+    if (pos == std::string::npos)
+    {
+        return std::nullopt;
+    }
+    const auto end = block.find('>', pos);
+    if (end == std::string::npos)
+    {
+        return std::nullopt;
+    }
+    return block.substr(pos, end - pos + 1);
+}
+
+/// Parses the latcoord element of \p block into a site; returns nullopt and
+/// sets \p why on failure.
+std::optional<phys::SiDBSite> parse_latcoord(const std::string& block, std::string& why)
+{
+    const auto tag = first_tag(block, "latcoord");
+    if (!tag.has_value())
+    {
+        why = "missing <latcoord>";
+        return std::nullopt;
+    }
+    phys::SiDBSite site;
+    const char* names[] = {"n", "m", "l"};
+    std::int32_t* fields[] = {&site.n, &site.m, &site.l};
+    for (int i = 0; i < 3; ++i)
+    {
+        const auto text = attribute(*tag, names[i]);
+        if (!text.has_value())
+        {
+            why = std::string{"latcoord missing attribute '"} + names[i] + "'";
+            return std::nullopt;
+        }
+        const auto value = parse_int(*text);
+        if (!value.has_value())
+        {
+            why = std::string{"latcoord attribute '"} + names[i] + "' is not an integer: '" +
+                  *text + "'";
+            return std::nullopt;
+        }
+        *fields[i] = *value;
+    }
+    if (site.l != 0 && site.l != 1)
+    {
+        why = "latcoord sublattice index l must be 0 or 1";
+        return std::nullopt;
+    }
+    return site;
+}
+
+/// Calls \p handle(block, index) for every <element>...</element> block.
+/// An unterminated element is reported through \p on_error and stops the
+/// scan (everything after it would be garbage).
+template <typename Handler, typename ErrorSink>
+void for_each_block(const std::string& doc, const std::string& element, Handler handle,
+                    ErrorSink on_error)
+{
+    const std::string open = "<" + element + ">";
+    const std::string close = "</" + element + ">";
+    std::size_t pos = 0;
+    std::size_t index = 0;
+    for (;;)
+    {
+        const auto begin = doc.find(open, pos);
+        if (begin == std::string::npos)
+        {
+            return;
+        }
+        const auto end = doc.find(close, begin);
+        if (end == std::string::npos)
+        {
+            on_error("unterminated <" + element + "> element");
+            return;
+        }
+        handle(doc.substr(begin, end - begin + close.size()), index);
+        ++index;
+        pos = end + close.size();
+    }
+}
+
+}  // namespace
+
+SqdContents read_sqd(std::istream& in)
+{
+    SqdContents contents;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string doc = buffer.str();
+
+    if (doc.find("<siqad") == std::string::npos)
+    {
+        contents.errors.emplace_back("not a SiQAD document (no <siqad> root)");
+        return contents;
+    }
+
+    // design name (optional; the program block may be absent)
+    if (const auto open = doc.find("<name>"); open != std::string::npos)
+    {
+        if (const auto close = doc.find("</name>", open); close != std::string::npos)
+        {
+            contents.name = doc.substr(open + 6, close - open - 6);
+        }
+    }
+
+    const auto record = [&](const std::string& what) { contents.errors.push_back(what); };
+
+    for_each_block(
+        doc, "dbdot",
+        [&](const std::string& block, std::size_t index) {
+            std::string why;
+            if (const auto site = parse_latcoord(block, why); site.has_value())
+            {
+                contents.sites.push_back(*site);
+            }
+            else
+            {
+                record("dbdot #" + std::to_string(index) + " skipped: " + why);
+            }
+        },
+        record);
+
+    for_each_block(
+        doc, "defect",
+        [&](const std::string& block, std::size_t index) {
+            const auto skip = [&](const std::string& why) {
+                record("defect #" + std::to_string(index) + " skipped: " + why);
+            };
+            std::string why;
+            const auto site = parse_latcoord(block, why);
+            if (!site.has_value())
+            {
+                skip(why);
+                return;
+            }
+            phys::SurfaceDefect defect;
+            defect.site = *site;
+            // the property element is optional (defaults model a bare
+            // charged vacancy); malformed values skip the entry
+            if (const auto prop = first_tag(block, "property"); prop.has_value())
+            {
+                if (const auto kind = attribute(*prop, "kind"); kind.has_value())
+                {
+                    if (*kind == "charged")
+                    {
+                        defect.kind = phys::DefectKind::charged;
+                    }
+                    else if (*kind == "structural")
+                    {
+                        defect.kind = phys::DefectKind::structural;
+                        defect.charge = 0.0;
+                    }
+                    else
+                    {
+                        skip("unknown defect kind '" + *kind + "'");
+                        return;
+                    }
+                }
+                if (const auto charge = attribute(*prop, "charge"); charge.has_value())
+                {
+                    const auto value = parse_double(*charge);
+                    if (!value.has_value())
+                    {
+                        skip("charge is not a number: '" + *charge + "'");
+                        return;
+                    }
+                    defect.charge = *value;
+                }
+                if (const auto radius = attribute(*prop, "exclusion_radius_nm");
+                    radius.has_value())
+                {
+                    const auto value = parse_double(*radius);
+                    if (!value.has_value())
+                    {
+                        skip("exclusion_radius_nm is not a number: '" + *radius + "'");
+                        return;
+                    }
+                    defect.exclusion_radius_nm = *value;
+                }
+            }
+            try
+            {
+                contents.defects.add(defect);
+            }
+            catch (const std::invalid_argument& e)
+            {
+                // DefectSurface::add rejects negative radii / non-finite
+                // charges; record instead of throwing through the reader
+                skip(e.what());
+            }
+        },
+        record);
+
+    return contents;
+}
+
+}  // namespace bestagon::io

@@ -1,0 +1,40 @@
+/// \file sqd_reader.hpp
+/// \brief SiQAD design-file (.sqd XML) reader: dangling bonds and the
+///        fabrication-defect layer written by sqd_writer.
+///
+/// The parser is deliberately forgiving: a malformed entry (missing
+/// latcoord, non-numeric attribute, invalid defect property) is skipped and
+/// RECORDED as a one-line error instead of aborting the whole file — STM
+/// tool exports routinely carry vendor extensions we do not model, and one
+/// bad defect entry must not discard an otherwise usable surface scan.
+/// Structural problems that make the document unreadable (not an .sqd file
+/// at all) surface as errors too, with empty contents.
+
+#pragma once
+
+#include "phys/defect.hpp"
+#include "phys/lattice.hpp"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bestagon::io
+{
+
+/// Everything a .sqd file contributes to the flow.
+struct SqdContents
+{
+    std::string name;                      ///< design name from the program block
+    std::vector<phys::SiDBSite> sites;     ///< DB layer, in file order
+    phys::DefectSurface defects;           ///< Defect layer, in file order
+    std::vector<std::string> errors;       ///< recorded per-entry parse errors
+
+    [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Parses an .sqd document from \p in. Never throws on malformed content;
+/// every skipped entry leaves a description in SqdContents::errors.
+[[nodiscard]] SqdContents read_sqd(std::istream& in);
+
+}  // namespace bestagon::io

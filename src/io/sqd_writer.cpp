@@ -8,7 +8,7 @@ namespace bestagon::io
 namespace
 {
 
-void write_header(std::ostream& out, const std::string& name)
+void write_header(std::ostream& out, const std::string& name, bool with_defects)
 {
     out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
         << "<siqad>\n"
@@ -19,8 +19,12 @@ void write_header(std::ostream& out, const std::string& name)
         << "  </program>\n"
         << "  <layers>\n"
         << "    <layer_prop><name>Lattice</name><type>Lattice</type></layer_prop>\n"
-        << "    <layer_prop><name>DB</name><type>DB</type></layer_prop>\n"
-        << "  </layers>\n"
+        << "    <layer_prop><name>DB</name><type>DB</type></layer_prop>\n";
+    if (with_defects)
+    {
+        out << "    <layer_prop><name>Defects</name><type>Defect</type></layer_prop>\n";
+    }
+    out << "  </layers>\n"
         << "  <design>\n"
         << "    <layer type=\"DB\">\n";
 }
@@ -33,33 +37,67 @@ void write_db(std::ostream& out, const phys::SiDBSite& s)
         << "      </dbdot>\n";
 }
 
-void write_footer(std::ostream& out)
+void write_defect_layer(std::ostream& out, const phys::DefectSurface& defects)
 {
-    out << "    </layer>\n"
-        << "  </design>\n"
+    out << "    <layer type=\"Defect\">\n";
+    for (const auto& d : defects.defects())
+    {
+        out << "      <defect>\n"
+            << "        <layer_id>2</layer_id>\n"
+            << "        <latcoord n=\"" << d.site.n << "\" m=\"" << d.site.m << "\" l=\""
+            << d.site.l << "\"/>\n"
+            << "        <property kind=\""
+            << (d.kind == phys::DefectKind::charged ? "charged" : "structural") << "\" charge=\""
+            << d.charge << "\" exclusion_radius_nm=\"" << d.exclusion_radius_nm << "\"/>\n"
+            << "      </defect>\n";
+    }
+    out << "    </layer>\n";
+}
+
+void write_footer(std::ostream& out, const phys::DefectSurface* defects)
+{
+    out << "    </layer>\n";
+    if (defects != nullptr && !defects->empty())
+    {
+        write_defect_layer(out, *defects);
+    }
+    out << "  </design>\n"
         << "</siqad>\n";
+}
+
+void write_impl(std::ostream& out, const std::vector<phys::SiDBSite>& sites,
+                const std::string& name, const phys::DefectSurface* defects)
+{
+    write_header(out, name, defects != nullptr && !defects->empty());
+    for (const auto& s : sites)
+    {
+        write_db(out, s);
+    }
+    write_footer(out, defects);
 }
 
 }  // namespace
 
 void write_sqd(std::ostream& out, const layout::SiDBLayout& layout, const std::string& name)
 {
-    write_header(out, name);
-    for (const auto& s : layout.sites)
-    {
-        write_db(out, s);
-    }
-    write_footer(out);
+    write_impl(out, layout.sites, name, nullptr);
 }
 
 void write_sqd(std::ostream& out, const phys::GateDesign& design)
 {
-    write_header(out, design.name);
-    for (const auto& s : design.instance_sites(0))
-    {
-        write_db(out, s);
-    }
-    write_footer(out);
+    write_impl(out, design.instance_sites(0), design.name, nullptr);
+}
+
+void write_sqd(std::ostream& out, const layout::SiDBLayout& layout,
+               const phys::DefectSurface& defects, const std::string& name)
+{
+    write_impl(out, layout.sites, name, &defects);
+}
+
+void write_sqd(std::ostream& out, const phys::GateDesign& design,
+               const phys::DefectSurface& defects)
+{
+    write_impl(out, design.instance_sites(0), design.name, &defects);
 }
 
 }  // namespace bestagon::io

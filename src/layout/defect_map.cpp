@@ -1,0 +1,69 @@
+#include "layout/defect_map.hpp"
+
+#include "layout/apply_gate_library.hpp"
+#include "phys/lattice.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bestagon::layout
+{
+
+namespace
+{
+
+/// Euclidean distance (nm) from \p site to the lattice-footprint rectangle
+/// of \p tile; 0 when the site lies inside it. The footprint spans the
+/// physical positions of every site a standard cell at this tile may use:
+/// columns [origin.n, origin.n + tile_columns - 1], dimer rows
+/// [origin.m, origin.m + tile_rows - 1] with both sublattice atoms.
+double distance_to_tile_nm(const phys::SiDBSite& site, HexCoord tile)
+{
+    const auto origin = tile_origin(tile);
+    const double x_min = origin.n * phys::lattice_pitch_x;
+    const double x_max = (origin.n + tile_columns - 1) * phys::lattice_pitch_x;
+    const double y_min = origin.m * phys::lattice_pitch_y;
+    const double y_max = (origin.m + tile_rows - 1) * phys::lattice_pitch_y + phys::dimer_pitch;
+
+    const double dx = std::max({x_min - site.x(), 0.0, site.x() - x_max});
+    const double dy = std::max({y_min - site.y(), 0.0, site.y() - y_max});
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+bool tile_blocked(HexCoord tile, const phys::DefectSurface& defects)
+{
+    for (const auto& d : defects.defects())
+    {
+        if (distance_to_tile_nm(d.site, tile) <= d.exclusion_radius_nm)
+        {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<HexCoord> blocked_tiles(unsigned width, unsigned height,
+                                    const phys::DefectSurface& defects)
+{
+    std::vector<HexCoord> blocked;
+    if (defects.empty())
+    {
+        return blocked;
+    }
+    for (unsigned y = 0; y < height; ++y)
+    {
+        for (unsigned x = 0; x < width; ++x)
+        {
+            const HexCoord tile{static_cast<std::int32_t>(x), static_cast<std::int32_t>(y)};
+            if (tile_blocked(tile, defects))
+            {
+                blocked.push_back(tile);
+            }
+        }
+    }
+    return blocked;
+}
+
+}  // namespace bestagon::layout

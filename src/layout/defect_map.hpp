@@ -1,0 +1,36 @@
+/// \file defect_map.hpp
+/// \brief Tile-level view of a fabrication-defect surface for defect-aware
+///        placement & routing.
+///
+/// P&R operates on hexagonal tiles, not on individual lattice sites; this
+/// module projects a phys::DefectSurface onto the tile grid so both the
+/// exact (SAT) and the scalable (marching) physical design engines can
+/// avoid tiles whose standard-cell implementation would collide with a
+/// defect. The projection is conservative: a tile is blocked when any
+/// defect lies within the tile's lattice footprint, or when a defect's
+/// exclusion zone reaches into it. A charged defect inside a tile sits
+/// among the standard cell's dots and perturbs its validated behavior, so
+/// it blocks the tile just like a structural defect does.
+
+#pragma once
+
+#include "layout/coordinates.hpp"
+#include "phys/defect.hpp"
+
+#include <vector>
+
+namespace bestagon::layout
+{
+
+/// True when \p defects forbids placing a standard tile at \p tile: some
+/// defect's position is within its exclusion radius of the tile's lattice
+/// footprint rectangle (radius 0 blocks exactly the tiles the defect lies
+/// in). Odd-row tiles use their half-tile x shift, matching tile_origin.
+[[nodiscard]] bool tile_blocked(HexCoord tile, const phys::DefectSurface& defects);
+
+/// All blocked tiles of a \p width x \p height layout, in row-major order
+/// (unique, sorted by (y, x)). Cost O(width * height * defects.size()).
+[[nodiscard]] std::vector<HexCoord> blocked_tiles(unsigned width, unsigned height,
+                                                  const phys::DefectSurface& defects);
+
+}  // namespace bestagon::layout

@@ -1,5 +1,6 @@
 #include "layout/exact_physical_design.hpp"
 
+#include "layout/defect_map.hpp"
 #include "sat/dimacs.hpp"
 #include "sat/encodings.hpp"
 #include "sat/proof.hpp"
@@ -73,9 +74,10 @@ std::vector<unsigned> node_depths_to_po(const LogicNetwork& network)
 /// Names of the guard-selectable constraint groups, in guard order.
 /// I/O pinning is part of "placement" (pinned rows restrict the placement
 /// domain); "clocking" infeasibility is structural (empty row ranges) and is
-/// detected without solving.
-constexpr std::array<const char*, 4> group_names{"placement", "exclusivity", "routing",
-                                                 "capacity"};
+/// detected without solving. "defects" holds the unit clauses forbidding
+/// placements and wires on defect-blocked tiles.
+constexpr std::array<const char*, 5> group_names{"placement", "exclusivity", "routing",
+                                                 "capacity", "defects"};
 
 /// Encoder + decoder for one aspect ratio. With \p with_groups every clause
 /// carries a per-constraint-group guard literal, enabling unsat-core
@@ -84,7 +86,8 @@ class SizeEncoding
 {
   public:
     SizeEncoding(const LogicNetwork& network, unsigned w, unsigned h,
-                 const sat::BackendSelection& backend = {}, bool with_groups = false)
+                 const sat::BackendSelection& backend = {}, bool with_groups = false,
+                 const phys::DefectSurface* defects = nullptr)
         : network_{network}, w_{w}, h_{h}, levels_{node_levels(network)},
           depths_{node_depths_to_po(network)}, with_groups_{with_groups},
           // BVE/subsumption resolve clauses across guard groups, which keeps
@@ -100,6 +103,10 @@ class SizeEncoding
             {
                 g = sat::pos(solver_->new_var());
             }
+        }
+        if (defects != nullptr && !defects->empty())
+        {
+            blocked_tiles_ = blocked_tiles(w, h, *defects);
         }
         build();
     }
@@ -428,6 +435,31 @@ class SizeEncoding
                 }
             }
         }
+
+        // defect avoidance: no placement and no wire on a blocked tile. Unit
+        // clauses (guarded in group mode) rather than variable elision so an
+        // infeasibility diagnosis can name "defects" as a refuting group.
+        if (!blocked_tiles_.empty())
+        {
+            const auto is_blocked = [&](HexCoord t) {
+                return std::find(blocked_tiles_.begin(), blocked_tiles_.end(), t) !=
+                       blocked_tiles_.end();
+            };
+            for (const auto& [k, lit] : place_)
+            {
+                if (is_blocked(k.second))
+                {
+                    emit(grp_defects, {~lit});
+                }
+            }
+            for (const auto& [k, lit] : wire_)
+            {
+                if (is_blocked(k.second))
+                {
+                    emit(grp_defects, {~lit});
+                }
+            }
+        }
     }
 
     [[nodiscard]] std::optional<Lit> lit_of_place(NodeId v, HexCoord t) const
@@ -455,6 +487,7 @@ class SizeEncoding
     static constexpr std::size_t grp_exclusivity = 1;
     static constexpr std::size_t grp_routing = 2;
     static constexpr std::size_t grp_capacity = 3;
+    static constexpr std::size_t grp_defects = 4;
 
     [[nodiscard]] std::optional<Lit> guard_of(std::size_t group) const
     {
@@ -604,6 +637,7 @@ class SizeEncoding
     std::vector<unsigned> depths_;
     std::vector<NodeId> nodes_;
     std::vector<Edge> edges_;
+    std::vector<HexCoord> blocked_tiles_;  ///< defect-blocked tiles of this w x h grid
     bool trivially_unsat_{false};
     bool with_groups_{false};
     std::array<Lit, group_names.size()> group_guards_{};
@@ -684,7 +718,8 @@ std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& 
         {
             ++stats->sizes_tried;
         }
-        SizeEncoding encoding{network, w, h, options.sat_backend};
+        SizeEncoding encoding{network, w, h, options.sat_backend, /*with_groups=*/false,
+                              &options.defects};
         bool budget_hit = false;
         std::uint64_t conflicts = 0;
         auto layout = encoding.solve(options.conflicts_per_size, remaining, &conflicts, &budget_hit,
@@ -725,7 +760,8 @@ std::optional<GateLevelLayout> exact_physical_design(const logic::LogicNetwork& 
         if (remaining > 0)
         {
             const auto [w, h] = sizes.back();  // the most permissive aspect ratio
-            SizeEncoding diagnosis{network, w, h, options.sat_backend, /*with_groups=*/true};
+            SizeEncoding diagnosis{network, w, h, options.sat_backend, /*with_groups=*/true,
+                                   &options.defects};
             if (auto groups = diagnosis.refuting_groups(options.conflicts_per_size, remaining);
                 groups.has_value())
             {

@@ -14,6 +14,7 @@
 #include "core/run_control.hpp"
 #include "layout/gate_level_layout.hpp"
 #include "logic/network.hpp"
+#include "phys/defect.hpp"
 #include "sat/backend.hpp"
 
 #include <cstdint>
@@ -51,6 +52,14 @@ struct ExactPDOptions
     /// External IPASIR backends cannot trace proofs, so certify_unsat
     /// verdicts are skipped (not failed) for them.
     sat::BackendSelection sat_backend{};
+
+    /// Fabrication defects to avoid: tiles whose lattice footprint collides
+    /// with a defect (see layout/defect_map.hpp) receive unit clauses
+    /// forbidding any placement or wire on them, so every returned layout is
+    /// fabricable on the given surface. An infeasibility diagnosis reports
+    /// the "defects" constraint group when the blocked tiles are what
+    /// refutes the instance. Empty = legacy defect-free behavior.
+    phys::DefectSurface defects{};
 };
 
 struct ExactPDStats
@@ -65,8 +74,9 @@ struct ExactPDStats
     unsigned proof_failures{0};   ///< UNSAT verdicts whose proof did NOT check
 
     /// Constraint groups a declined instance's refutation depends on
-    /// ("clocking", "placement", "exclusivity", "routing", "capacity");
-    /// empty unless diagnose_infeasibility was set and the flow declined.
+    /// ("clocking", "placement", "exclusivity", "routing", "capacity",
+    /// "defects"); empty unless diagnose_infeasibility was set and the flow
+    /// declined.
     std::vector<std::string> refuting_groups;
 };
 

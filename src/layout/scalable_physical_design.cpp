@@ -1,5 +1,8 @@
 #include "layout/scalable_physical_design.hpp"
 
+#include "layout/defect_map.hpp"
+#include "phys/defect.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <map>
@@ -546,11 +549,84 @@ class Marcher
     int row_{0};
 };
 
+/// True when some occupied tile of \p layout, translated by (dx, dy),
+/// collides with a defect.
+bool translated_layout_collides(const GateLevelLayout& layout, int dx, int dy,
+                                const phys::DefectSurface& defects)
+{
+    for (const auto& t : layout.all_tiles())
+    {
+        if (!layout.occupants(t).empty() && tile_blocked(HexCoord{t.x + dx, t.y + dy}, defects))
+        {
+            return true;
+        }
+    }
+    return false;
+}
+
+/// Rebuilds \p layout translated by (dx, dy) tiles. dy must be a multiple
+/// of 4: row parity (the odd-row half-tile shift that port geometry depends
+/// on) and the 4-phase columnar clock assignment are then both invariant,
+/// so the translated layout is functionally identical.
+GateLevelLayout translate_layout(const GateLevelLayout& layout, int dx, int dy)
+{
+    assert(dy % 4 == 0);
+    GateLevelLayout shifted{layout.width() + static_cast<unsigned>(dx),
+                            layout.height() + static_cast<unsigned>(dy),
+                            ClockingScheme::row_columnar};
+    std::string err;
+    for (const auto& t : layout.all_tiles())
+    {
+        for (const auto& occ : layout.occupants(t))
+        {
+            if (!shifted.add_occupant(HexCoord{t.x + dx, t.y + dy}, occ, &err))
+            {
+                throw std::logic_error{"scalable_physical_design: translate failed: " + err};
+            }
+        }
+    }
+    return shifted;
+}
+
+/// Searches tile translations (x free, y in multiples of 4) until the
+/// layout clears every defect. Returns std::nullopt when no translation in
+/// the search window works (or the run was stopped mid-search).
+std::optional<GateLevelLayout> avoid_defects(const GateLevelLayout& layout,
+                                             const phys::DefectSurface& defects,
+                                             const core::RunBudget& run, ScalablePDStats* stats)
+{
+    // window: sliding the layout by its own extent in either axis passes
+    // every defect that can overlap it, so a wider search cannot help more
+    const int max_dx = static_cast<int>(layout.width()) + 1;
+    const int max_dy = static_cast<int>(layout.height()) + 4;
+    for (int dy = 0; dy <= max_dy; dy += 4)
+    {
+        for (int dx = 0; dx <= max_dx; ++dx)
+        {
+            if (run.stopped())
+            {
+                return std::nullopt;
+            }
+            if (!translated_layout_collides(layout, dx, dy, defects))
+            {
+                if (stats != nullptr)
+                {
+                    stats->defect_shift_x = static_cast<unsigned>(dx);
+                    stats->defect_shift_y = static_cast<unsigned>(dy);
+                }
+                return dx == 0 && dy == 0 ? layout : translate_layout(layout, dx, dy);
+            }
+        }
+    }
+    return std::nullopt;
+}
+
 }  // namespace
 
 std::optional<GateLevelLayout> scalable_physical_design(const logic::LogicNetwork& network,
                                                         const core::RunBudget& run,
-                                                        ScalablePDStats* stats)
+                                                        ScalablePDStats* stats,
+                                                        const phys::DefectSurface* defects)
 {
     std::string why;
     if (!network.is_bestagon_compliant(&why))
@@ -560,7 +636,25 @@ std::optional<GateLevelLayout> scalable_physical_design(const logic::LogicNetwor
     Marcher marcher{network, run};
     try
     {
-        return marcher.run();
+        auto layout = marcher.run();
+        if (defects == nullptr || defects->empty())
+        {
+            return layout;
+        }
+        auto cleared = avoid_defects(layout, *defects, run, stats);
+        if (!cleared.has_value() && stats != nullptr)
+        {
+            if (run.stopped())
+            {
+                stats->cancelled = true;
+                stats->message = "cancelled";
+            }
+            else
+            {
+                stats->message = "no defect-free translation of the marched layout exists";
+            }
+        }
+        return cleared;
     }
     catch (const StopRequested&)
     {

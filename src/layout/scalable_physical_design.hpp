@@ -19,6 +19,11 @@
 #include <optional>
 #include <string>
 
+namespace bestagon::phys
+{
+class DefectSurface;
+}
+
 namespace bestagon::layout
 {
 
@@ -27,6 +32,8 @@ struct ScalablePDStats
 {
     bool cancelled{false};  ///< the run budget stopped the march
     std::string message;    ///< why no layout was produced (empty on success)
+    unsigned defect_shift_x{0};  ///< tile translation applied to clear defects
+    unsigned defect_shift_y{0};  ///< (multiple of 4 rows: clock zones preserved)
 };
 
 /// Runs the heuristic placer on a Bestagon-compliant mapped network.
@@ -34,8 +41,17 @@ struct ScalablePDStats
 /// network (densely reconvergent structures whose crossing splits displace
 /// neighbors indefinitely) or when \p run stops it; callers fall back to
 /// exact physical design in the former case.
+///
+/// With a non-null \p defects surface, the constructed layout is translated
+/// across the tile grid until no occupied tile collides with a defect (see
+/// layout/defect_map.hpp). Translations keep x free and restrict y to
+/// multiples of 4 so row parity (port geometry) and the 4-phase columnar
+/// clocking are both preserved; if no collision-free translation exists
+/// within the search window the run declines with a message, and callers
+/// fall back to exact physical design with the same surface.
 [[nodiscard]] std::optional<GateLevelLayout>
 scalable_physical_design(const logic::LogicNetwork& network, const core::RunBudget& run = {},
-                         ScalablePDStats* stats = nullptr);
+                         ScalablePDStats* stats = nullptr,
+                         const phys::DefectSurface* defects = nullptr);
 
 }  // namespace bestagon::layout

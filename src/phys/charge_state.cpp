@@ -30,6 +30,11 @@ void require_matching_size(std::size_t config_size, std::size_t system_size)
 ChargeState::ChargeState(const SiDBSystem& system)
     : system_{&system}, config_(system.size(), 0), v_(system.size(), 0.0)
 {
+    // all-neutral local potentials are the defect background (exact)
+    if (system.has_external_potentials())
+    {
+        v_ = system.external_potentials();
+    }
 }
 
 ChargeState::ChargeState(const SiDBSystem& system, ChargeConfig config)
@@ -53,10 +58,13 @@ void ChargeState::rebuild()
     num_charges_ = 0;
     // Per-site fresh summation in ascending j order — the exact operation
     // sequence of SiDBSystem::local_potential, so rebuilt values are
-    // bit-identical to the naive evaluator's.
+    // bit-identical to the naive evaluator's. The defect background W_i is
+    // the summation's starting value (0.0 on a defect-free system); every
+    // incremental commit then carries it along for free, which is how all
+    // four ground-state engines see charged defects without any change.
     for (std::size_t i = 0; i < n; ++i)
     {
-        double v = 0.0;
+        double v = system_->external_potential(i);
         for (std::size_t j = 0; j < n; ++j)
         {
             if (j != i && config_[j] != 0)
@@ -207,12 +215,14 @@ void ChargeState::quench()
 double ChargeState::electrostatic_energy() const
 {
     // Each pair V_ij n_i n_j appears in both v_i and v_j: E = 1/2 sum v_i n_i.
+    // The external term W_i n_i appears ONCE in v_i, so it must be counted
+    // again before halving (adds exactly 0.0 on a defect-free system).
     double twice = 0.0;
     for (std::size_t i = 0; i < config_.size(); ++i)
     {
         if (config_[i] != 0)
         {
-            twice += v_[i];
+            twice += v_[i] + system_->external_potential(i);
         }
     }
     return 0.5 * twice;
@@ -234,6 +244,25 @@ void ChargeState::testkit_adopt_config_skip_cache_update(ChargeConfig config)
         num_charges_ += c;
     }
     // deliberately NO rebuild(): this models the skipped cache update
+}
+
+void ChargeState::testkit_rebuild_ignore_external()
+{
+    const std::size_t n = config_.size();
+    // rebuild() minus the external starting value: the pre-defect kernel
+    // verbatim, i.e. an engine that forgot the defect background
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        double v = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+        {
+            if (j != i && config_[j] != 0)
+            {
+                v += system_->potential(i, j);
+            }
+        }
+        v_[i] = v;
+    }
 }
 
 }  // namespace bestagon::phys

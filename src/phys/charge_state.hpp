@@ -8,7 +8,12 @@
 /// a sequence of *local moves*: single charge flips and single electron
 /// hops. The cost of a move depends only on the local potentials
 ///
-///     v_i = sum_{j != i} V_ij n_j          [eV]
+///     v_i = W_i + sum_{j != i} V_ij n_j          [eV]
+///
+/// (W_i is the configuration-independent external potential of charged
+/// fabrication defects, 0 on a pristine surface — see defect.hpp; it is the
+/// summation's starting value in every rebuild and rides along through all
+/// incremental commits at zero extra cost)
 ///
 /// of the sites it touches:
 ///
@@ -141,6 +146,13 @@ class ChargeState
     /// forgot its update step. Production code must never call this; the
     /// `charge_state_differential` oracle proves the fault is detected.
     void testkit_adopt_config_skip_cache_update(ChargeConfig config);
+
+    /// **Testkit-only fault hook** (`ignore_defect_potentials` mutants):
+    /// rebuilds the cache WITHOUT the external-potential starting values,
+    /// modelling an engine that forgot the defect background. Production
+    /// code must never call this; the `defect_differential` oracle proves
+    /// the fault is detected.
+    void testkit_rebuild_ignore_external();
 
   private:
     const SiDBSystem* system_;

@@ -1,0 +1,255 @@
+#include "phys/defect.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+namespace bestagon::phys
+{
+
+namespace
+{
+
+/// splitmix64 — the project-wide deterministic stream (core::derive_seed and
+/// testkit::Rng use the same finalizer), replicated here so the phys layer
+/// does not depend on the concurrency library for sampling.
+struct SplitMix
+{
+    std::uint64_t state;
+
+    std::uint64_t next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform draw in [0, 1) with 53 random bits.
+    double unit() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Uniform draw in [0, bound) (bound > 0; modulo bias is irrelevant at
+    /// lattice-region scales against 2^64).
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+/// Salt separating the count draw from the position/kind stream, so adding
+/// a density axis never perturbs the defect positions.
+constexpr std::uint64_t count_salt = 0xc0'07'de'fe'c7'5a'17ULL;
+
+}  // namespace
+
+void DefectSurface::add(const SurfaceDefect& defect)
+{
+    if (defect.exclusion_radius_nm < 0.0)
+    {
+        throw std::invalid_argument{"DefectSurface: negative exclusion radius " +
+                                    std::to_string(defect.exclusion_radius_nm) + " nm"};
+    }
+    if (defect.kind == DefectKind::charged && !std::isfinite(defect.charge))
+    {
+        throw std::invalid_argument{"DefectSurface: charged defect with non-finite charge"};
+    }
+    defects_.push_back(defect);
+    if (defect.kind == DefectKind::charged)
+    {
+        ++num_charged_;
+    }
+}
+
+DefectSurface DefectSurface::prefix(std::size_t count) const
+{
+    DefectSurface out;
+    const std::size_t take = count < defects_.size() ? count : defects_.size();
+    for (std::size_t i = 0; i < take; ++i)
+    {
+        out.add(defects_[i]);
+    }
+    return out;
+}
+
+bool DefectSurface::blocks(const SiDBSite& site) const
+{
+    return blocking_defect(site) != nullptr;
+}
+
+const SurfaceDefect* DefectSurface::blocking_defect(const SiDBSite& site) const
+{
+    for (const auto& d : defects_)
+    {
+        if (site == d.site || distance_nm(site, d.site) <= d.exclusion_radius_nm)
+        {
+            return &d;
+        }
+    }
+    return nullptr;
+}
+
+bool DefectSurface::blocks_any(const std::vector<SiDBSite>& sites) const
+{
+    for (const auto& s : sites)
+    {
+        if (blocks(s))
+        {
+            return true;
+        }
+    }
+    return false;
+}
+
+double DefectSurface::external_potential(const SiDBSite& site,
+                                         const SimulationParameters& params) const
+{
+    // W = sum_d (-q_d) * V(r): a q = -1 defect contributes exactly the
+    // screened-Coulomb repulsion another DB- at the same spot would.
+    // Insertion-order summation — external_potentials and the kernel
+    // rebuild must see the identical floating-point sequence.
+    double w = 0.0;
+    for (const auto& d : defects_)
+    {
+        if (d.kind == DefectKind::charged)
+        {
+            w += -d.charge * screened_coulomb(distance_nm(site, d.site), params);
+        }
+    }
+    return w;
+}
+
+std::vector<double> DefectSurface::external_potentials(const std::vector<SiDBSite>& sites,
+                                                       const SimulationParameters& params) const
+{
+    if (!has_charged())
+    {
+        return {};
+    }
+    std::vector<double> w;
+    w.reserve(sites.size());
+    for (const auto& s : sites)
+    {
+        w.push_back(external_potential(s, params));
+    }
+    return w;
+}
+
+double DefectRegion::area_nm2() const
+{
+    const double cols = static_cast<double>(n_max - n_min + 1);
+    const double rows = static_cast<double>(m_max - m_min + 1);
+    return cols * lattice_pitch_x * rows * lattice_pitch_y;
+}
+
+std::size_t DefectRegion::num_sites() const
+{
+    if (n_max < n_min || m_max < m_min)
+    {
+        return 0;
+    }
+    const auto cols = static_cast<std::size_t>(n_max - n_min + 1);
+    const auto rows = static_cast<std::size_t>(m_max - m_min + 1);
+    return 2 * cols * rows;
+}
+
+void DefectSampleParams::validate() const
+{
+    if (density_per_nm2 < 0.0 || !std::isfinite(density_per_nm2))
+    {
+        throw std::invalid_argument{"DefectSampleParams: negative defect density " +
+                                    std::to_string(density_per_nm2) + " /nm^2"};
+    }
+    if (charged_fraction < 0.0 || charged_fraction > 1.0)
+    {
+        throw std::invalid_argument{"DefectSampleParams: charged_fraction " +
+                                    std::to_string(charged_fraction) + " outside [0, 1]"};
+    }
+    if (!std::isfinite(charge))
+    {
+        throw std::invalid_argument{"DefectSampleParams: non-finite defect charge"};
+    }
+    if (exclusion_radius_nm < 0.0)
+    {
+        throw std::invalid_argument{"DefectSampleParams: negative exclusion radius " +
+                                    std::to_string(exclusion_radius_nm) + " nm"};
+    }
+}
+
+std::size_t defect_count_for_density(const DefectRegion& region, double density_per_nm2,
+                                     std::uint64_t seed)
+{
+    if (density_per_nm2 < 0.0 || !std::isfinite(density_per_nm2))
+    {
+        throw std::invalid_argument{"defect_count_for_density: negative defect density " +
+                                    std::to_string(density_per_nm2) + " /nm^2"};
+    }
+    const double lambda = density_per_nm2 * region.area_nm2();
+    // Unbiased deterministic rounding: count = ceil(lambda - u) with one
+    // uniform u per seed. E[count] = lambda, and for a FIXED seed the count
+    // is monotone in the density — the property the nested yield sweep
+    // needs (a higher density can never draw fewer defects).
+    SplitMix mix{seed ^ count_salt};
+    const double u = mix.unit();
+    const double raw = std::ceil(lambda - u);
+    const std::size_t cap = region.num_sites();
+    if (raw <= 0.0)
+    {
+        return 0;
+    }
+    const auto count = static_cast<std::size_t>(raw);
+    return count < cap ? count : cap;
+}
+
+DefectSurface sample_defect_surface(const DefectRegion& region, const DefectSampleParams& params,
+                                    std::uint64_t seed, std::size_t count)
+{
+    params.validate();
+    DefectSurface surface;
+    const std::size_t cap = region.num_sites();
+    const std::size_t want = count < cap ? count : cap;
+    if (want == 0)
+    {
+        return surface;
+    }
+
+    const auto cols = static_cast<std::uint64_t>(region.n_max - region.n_min + 1);
+    const auto rows = static_cast<std::uint64_t>(region.m_max - region.m_min + 1);
+    SplitMix mix{seed};
+    std::set<SiDBSite> used;
+    while (used.size() < want)
+    {
+        SiDBSite site{region.n_min + static_cast<std::int32_t>(mix.below(cols)),
+                      region.m_min + static_cast<std::int32_t>(mix.below(rows)),
+                      static_cast<std::int32_t>(mix.below(2))};
+        // duplicate positions are redrawn; at fab-realistic densities
+        // (a few % of sites) rejections are rare, and the count cap above
+        // guarantees termination even for a fully saturated region
+        if (!used.insert(site).second)
+        {
+            continue;
+        }
+        SurfaceDefect d;
+        d.site = site;
+        if (mix.unit() < params.charged_fraction)
+        {
+            d.kind = DefectKind::charged;
+            d.charge = params.charge;
+            d.exclusion_radius_nm = 0.0;  // blocks its own site only
+        }
+        else
+        {
+            d.kind = DefectKind::structural;
+            d.charge = 0.0;
+            d.exclusion_radius_nm = params.exclusion_radius_nm;
+        }
+        surface.add(d);
+    }
+    return surface;
+}
+
+DefectSurface sample_defect_surface(const DefectRegion& region, const DefectSampleParams& params,
+                                    std::uint64_t seed)
+{
+    return sample_defect_surface(region, params, seed,
+                                 defect_count_for_density(region, params.density_per_nm2, seed));
+}
+
+}  // namespace bestagon::phys

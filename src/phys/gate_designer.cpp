@@ -20,10 +20,14 @@ namespace
 /// shared pattern-invariant potential cache (the fixed block of V_ij is
 /// evaluated once per candidate, not once per pattern).
 unsigned score_design(const GateDesign& design, const SimulationParameters& params,
-                      const core::RunBudget& run)
+                      const DefectSurface* defects, const core::RunBudget& run)
 {
     const std::uint64_t patterns = 1ULL << design.num_inputs();
-    const GateInstanceCache cache{design, params};
+    const GateInstanceCache cache{design, params, defects};
+    if (cache.blocked())
+    {
+        return 0;  // unfabricable candidate (canvas filtering should prevent this)
+    }
     std::vector<unsigned> pattern_scores(patterns, 0);
     core::parallel_for(params.num_threads, patterns, run, [&](std::size_t p) {
         const auto r = simulate_gate_pattern(cache, p, Engine::automatic, run);
@@ -111,7 +115,7 @@ std::optional<DesignerResult> run_search(const GateDesign& skeleton,
         }
 
         const auto design = make_design(canvas);
-        const unsigned score = score_design(design, params, options.run);
+        const unsigned score = score_design(design, params, options.defects, options.run);
         if (options.run.stopped())
         {
             // a score cut short by a stop is not comparable; discard it
@@ -149,7 +153,20 @@ std::optional<DesignerResult> design_gate(const GateDesign& skeleton,
                                     std::to_string(max_gate_inputs)};
     }
 
-    // exclude candidates that collide with skeleton sites, drivers or perturbers
+    // a skeleton on a blocked site cannot be rescued by any canvas choice
+    const DefectSurface* defects =
+        options.defects != nullptr && !options.defects->empty() ? options.defects : nullptr;
+    if (defects != nullptr)
+    {
+        const GateInstanceCache probe{skeleton, params, defects};
+        if (probe.blocked())
+        {
+            return std::nullopt;
+        }
+    }
+
+    // exclude candidates that collide with skeleton sites, drivers or
+    // perturbers — or that sit on a defect-blocked site
     std::vector<SiDBSite> forbidden = skeleton.sites;
     for (const auto& drv : skeleton.drivers)
     {
@@ -161,10 +178,15 @@ std::optional<DesignerResult> design_gate(const GateDesign& skeleton,
     usable.reserve(candidates.size());
     for (const auto& c : candidates)
     {
-        if (std::find(forbidden.begin(), forbidden.end(), c) == forbidden.end())
+        if (std::find(forbidden.begin(), forbidden.end(), c) != forbidden.end())
         {
-            usable.push_back(c);
+            continue;
         }
+        if (defects != nullptr && defects->blocks(c))
+        {
+            continue;
+        }
+        usable.push_back(c);
     }
     if (usable.empty())
     {

@@ -47,6 +47,13 @@ struct DesignerOptions
     /// Cooperative cancellation / deadline: polled between search iterations
     /// and between pattern simulations. A stopped run returns std::nullopt.
     core::RunBudget run{};
+
+    /// Optional fabrication-defect surface (not owned; must outlive the
+    /// search). Candidates on blocked sites are excluded up front, every
+    /// candidate design is scored with the charged defects' external
+    /// potentials, and a skeleton that is itself blocked returns
+    /// std::nullopt immediately. nullptr = defect-free search.
+    const DefectSurface* defects{nullptr};
 };
 
 struct DesignerResult

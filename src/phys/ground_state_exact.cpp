@@ -34,7 +34,9 @@ PopulationWindow compute_population_window(const SiDBSystem& system)
             {
                 continue;
             }
-            double v_min = 0.0;   // forced-negative neighbours only
+            // both brackets start from the defect background W_i (0 on a
+            // pristine surface): it shifts every reachable v_i uniformly
+            double v_min = system.external_potential(i);  // forced-negative neighbours only
             double v_undecided = 0.0;
             for (std::size_t j = 0; j < n; ++j)
             {
@@ -98,6 +100,7 @@ PopulationWindow compute_population_window(const SiDBSystem& system)
     for (std::size_t a = 0; a < u; ++a)
     {
         const std::size_t i = undecided[a];
+        v_forced[a] = system.external_potential(i);  // defect background
         for (std::size_t j = 0; j < n; ++j)
         {
             if (w.status[j] == site_forced_negative)

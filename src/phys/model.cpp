@@ -1,13 +1,30 @@
 #include "phys/model.hpp"
 
 #include "phys/charge_state.hpp"
+#include "phys/defect.hpp"
 
 #include <cassert>
 #include <cmath>
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 
 namespace bestagon::phys
 {
+
+void validate_parameters(const SimulationParameters& params)
+{
+    if (!(params.epsilon_r > 0.0) || !std::isfinite(params.epsilon_r))
+    {
+        throw std::invalid_argument{"SimulationParameters: non-positive epsilon_r " +
+                                    std::to_string(params.epsilon_r)};
+    }
+    if (!(params.lambda_tf > 0.0) || !std::isfinite(params.lambda_tf))
+    {
+        throw std::invalid_argument{"SimulationParameters: non-positive lambda_tf " +
+                                    std::to_string(params.lambda_tf)};
+    }
+}
 
 double screened_coulomb(double r_nm, const SimulationParameters& params)
 {
@@ -18,6 +35,7 @@ double screened_coulomb(double r_nm, const SimulationParameters& params)
 SiDBSystem::SiDBSystem(std::vector<SiDBSite> sites, const SimulationParameters& params)
     : sites_{std::move(sites)}, params_{params}
 {
+    validate_parameters(params_);
     const std::size_t n = sites_.size();
     potentials_.assign(n * n, 0.0);
     for (std::size_t i = 0; i < n; ++i)
@@ -31,10 +49,45 @@ SiDBSystem::SiDBSystem(std::vector<SiDBSite> sites, const SimulationParameters& 
     }
 }
 
+SiDBSystem::SiDBSystem(std::vector<SiDBSite> sites, const SimulationParameters& params,
+                       const DefectSurface& defects)
+    : SiDBSystem{std::move(sites), params}
+{
+    for (const auto& s : sites_)
+    {
+        if (const auto* d = defects.blocking_defect(s); d != nullptr)
+        {
+            std::ostringstream out;
+            out << "SiDBSystem: site (" << s.n << ", " << s.m << ", " << s.l
+                << ") is blocked by the defect at (" << d->site.n << ", " << d->site.m << ", "
+                << d->site.l << ")";
+            throw std::invalid_argument{out.str()};
+        }
+    }
+    external_ = defects.external_potentials(sites_, params_);
+}
+
+SiDBSystem SiDBSystem::from_potentials(std::vector<SiDBSite> sites,
+                                       const SimulationParameters& params,
+                                       std::vector<double> potentials,
+                                       std::vector<double> external)
+{
+    if (!external.empty() && external.size() != sites.size())
+    {
+        throw std::invalid_argument{"SiDBSystem: external potential row has " +
+                                    std::to_string(external.size()) + " entries but there are " +
+                                    std::to_string(sites.size()) + " sites"};
+    }
+    auto system = from_potentials(std::move(sites), params, std::move(potentials));
+    system.external_ = std::move(external);
+    return system;
+}
+
 SiDBSystem SiDBSystem::from_potentials(std::vector<SiDBSite> sites,
                                        const SimulationParameters& params,
                                        std::vector<double> potentials)
 {
+    validate_parameters(params);
     assert(potentials.size() == sites.size() * sites.size());
     SiDBSystem system;
     system.sites_ = std::move(sites);
@@ -76,6 +129,17 @@ double SiDBSystem::electrostatic_energy(const ChargeConfig& config) const
             }
         }
     }
+    // defect background: each charge pays its site's external potential once
+    if (!external_.empty())
+    {
+        for (std::size_t i = 0; i < sites_.size(); ++i)
+        {
+            if (config[i] != 0)
+            {
+                energy += external_[i];
+            }
+        }
+    }
     return energy;
 }
 
@@ -91,7 +155,9 @@ double SiDBSystem::grand_potential(const ChargeConfig& config) const
 
 double SiDBSystem::local_potential(const ChargeConfig& config, std::size_t i) const
 {
-    double v = 0.0;
+    // starts from the defect background W_i (0.0 for a defect-free system,
+    // preserving the pre-defect floating-point sequence bit-for-bit)
+    double v = external_potential(i);
     for (std::size_t j = 0; j < sites_.size(); ++j)
     {
         if (j != i && config[j] != 0)

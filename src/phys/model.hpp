@@ -92,6 +92,14 @@ struct SimulationParameters
     double energy_tolerance{1e-6};
 };
 
+/// Validates the physical knobs of \p params: epsilon_r and lambda_tf must
+/// be positive and finite (a non-positive permittivity or screening length
+/// makes every screened-Coulomb term meaningless or singular). Throws
+/// std::invalid_argument — the PR-6 ChargeState convention of promoting
+/// silent contract violations to thrown errors. Called by every SiDBSystem
+/// constructor, so no simulation can run on nonsense parameters.
+void validate_parameters(const SimulationParameters& params);
+
 /// Screened Coulomb interaction energy of two negative charges at distance
 /// \p r_nm (in nm), in eV.
 [[nodiscard]] double screened_coulomb(double r_nm, const SimulationParameters& params);
@@ -99,12 +107,29 @@ struct SimulationParameters
 /// A charge configuration: one charge state per site (0 = DB0, 1 = DB-).
 using ChargeConfig = std::vector<std::uint8_t>;
 
+class DefectSurface;  // defect.hpp
+
 /// A fixed set of SiDB sites with precomputed pair potentials, supporting
 /// energy evaluation and stability checks of charge configurations.
+///
+/// A system may additionally carry a per-site *external potential* W_i
+/// (charged fabrication defects, see defect.hpp): every local potential
+/// becomes v_i = W_i + sum_{j != i} V_ij n_j and the grand potential gains
+/// sum_i W_i n_i. A system without external potentials (the default) keeps
+/// the exact pre-defect floating-point behavior — W storage is empty and
+/// never touched on hot paths.
 class SiDBSystem
 {
   public:
     SiDBSystem(std::vector<SiDBSite> sites, const SimulationParameters& params);
+
+    /// Evaluating constructor with a defect surface: charged defects
+    /// contribute the external potential row, evaluated once per site.
+    /// Throws std::invalid_argument when a site is blocked by a defect
+    /// (including a defect on top of a site, whose Coulomb term would be
+    /// singular) — callers must place SiDBs on usable sites only.
+    SiDBSystem(std::vector<SiDBSite> sites, const SimulationParameters& params,
+               const DefectSurface& defects);
 
     /// Assembles a system from an externally precomputed potential matrix
     /// (row-major n x n, symmetric, zero diagonal) without re-evaluating any
@@ -117,6 +142,14 @@ class SiDBSystem
                                                     const SimulationParameters& params,
                                                     std::vector<double> potentials);
 
+    /// from_potentials with a precomputed external-potential row (one W_i
+    /// per site, or empty for none) — the defect-aware fast path of
+    /// GateInstanceCache.
+    [[nodiscard]] static SiDBSystem from_potentials(std::vector<SiDBSite> sites,
+                                                    const SimulationParameters& params,
+                                                    std::vector<double> potentials,
+                                                    std::vector<double> external);
+
     [[nodiscard]] std::size_t size() const noexcept { return sites_.size(); }
     [[nodiscard]] const std::vector<SiDBSite>& sites() const noexcept { return sites_; }
     [[nodiscard]] const SimulationParameters& parameters() const noexcept { return params_; }
@@ -127,13 +160,28 @@ class SiDBSystem
         return potentials_[i * sites_.size() + j];
     }
 
-    /// Electrostatic energy sum_{i<j} V_ij n_i n_j, in eV.
+    /// True when the system carries defect-induced external potentials.
+    [[nodiscard]] bool has_external_potentials() const noexcept { return !external_.empty(); }
+
+    /// External potential W_i in eV (0 for a defect-free system).
+    [[nodiscard]] double external_potential(std::size_t i) const
+    {
+        return external_.empty() ? 0.0 : external_[i];
+    }
+
+    /// The full external row (empty for a defect-free system).
+    [[nodiscard]] const std::vector<double>& external_potentials() const noexcept
+    {
+        return external_;
+    }
+
+    /// Electrostatic energy sum_{i<j} V_ij n_i n_j + sum_i W_i n_i, in eV.
     [[nodiscard]] double electrostatic_energy(const ChargeConfig& config) const;
 
     /// Grand potential F(n) = electrostatic energy + mu * (number of charges).
     [[nodiscard]] double grand_potential(const ChargeConfig& config) const;
 
-    /// Local potential v_i = sum_{j != i} V_ij n_j, in eV. This is the naive
+    /// Local potential v_i = W_i + sum_{j != i} V_ij n_j, in eV. This is the naive
     /// O(n) reference evaluator; hot loops should hold a ChargeState and
     /// read its O(1) cache instead (see charge_state.hpp).
     [[nodiscard]] double local_potential(const ChargeConfig& config, std::size_t i) const;
@@ -161,6 +209,7 @@ class SiDBSystem
     std::vector<SiDBSite> sites_;
     SimulationParameters params_;
     std::vector<double> potentials_;  // row-major size() x size()
+    std::vector<double> external_;    // per-site W_i; empty = defect-free
 };
 
 /// Result of a ground-state search.

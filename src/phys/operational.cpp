@@ -86,15 +86,62 @@ const SiDBSite& GateInstanceCache::driver_site(std::size_t d, bool one) const
     return one ? design_->drivers[d].near_site : design_->drivers[d].far_site;
 }
 
-GateInstanceCache::GateInstanceCache(const GateDesign& design, const SimulationParameters& params)
+GateInstanceCache::GateInstanceCache(const GateDesign& design, const SimulationParameters& params,
+                                     const DefectSurface* defects)
     : design_{&design}, params_{params}
 {
+    validate_parameters(params_);
     const std::size_t k = design.drivers.size();
     num_fixed_ = design.sites.size();
     design.instance_sites(0, base_sites_);  // driver slots hold the far (pattern-0) sites
     const std::size_t n = base_sites_.size();
 
     const auto is_driver = [&](std::size_t t) { return t >= num_fixed_ && t < num_fixed_ + k; };
+
+    if (defects != nullptr && !defects->empty())
+    {
+        // blocked-site scan over every site any pattern can instantiate:
+        // the fixed sites (far drivers included via pattern 0) plus every
+        // near driver position
+        const auto record_blocked = [&](const SiDBSite& s) {
+            if (blocked_)
+            {
+                return;
+            }
+            if (const auto* d = defects->blocking_defect(s); d != nullptr)
+            {
+                std::ostringstream out;
+                out << "site (" << s.n << ", " << s.m << ", " << s.l
+                    << ") is blocked by the defect at (" << d->site.n << ", " << d->site.m << ", "
+                    << d->site.l << ")";
+                blocked_ = true;
+                blocked_reason_ = out.str();
+            }
+        };
+        for (const auto& s : base_sites_)
+        {
+            record_blocked(s);
+        }
+        for (const auto& drv : design.drivers)
+        {
+            record_blocked(drv.near_site);
+        }
+        // external rows: one W per site (driver slots carry the far W) plus
+        // the near/far pair per driver — evaluated once per (design, params,
+        // surface), not once per pattern. Skipped entirely on a blocked
+        // design (a coincident defect would make W singular).
+        if (!blocked_ && defects->has_charged())
+        {
+            external_fixed_ = defects->external_potentials(base_sites_, params_);
+            external_driver_.assign(2 * k, 0.0);
+            for (std::size_t d = 0; d < k; ++d)
+            {
+                external_driver_[2 * d] = defects->external_potential(driver_site(d, false), params_);
+                external_driver_[2 * d + 1] =
+                    defects->external_potential(driver_site(d, true), params_);
+            }
+        }
+    }
 
     // pattern-invariant block: every pair not involving a driver slot
     fixed_block_.assign(n * n, 0.0);
@@ -215,7 +262,20 @@ SiDBSystem GateInstanceCache::instantiate(std::uint64_t pattern) const
             potentials[(num_fixed_ + e) * n + (num_fixed_ + d)] = v;
         }
     }
-    return SiDBSystem::from_potentials(std::move(sites), params_, std::move(potentials));
+    if (external_fixed_.empty())
+    {
+        return SiDBSystem::from_potentials(std::move(sites), params_, std::move(potentials));
+    }
+    // charged-defect background: copy the precomputed W rows and overwrite
+    // each driver slot with the W of the position this pattern selects
+    std::vector<double> external = external_fixed_;
+    for (std::size_t d = 0; d < k; ++d)
+    {
+        const bool one = ((pattern >> d) & 1ULL) != 0;
+        external[num_fixed_ + d] = external_driver_[2 * d + (one ? 1 : 0)];
+    }
+    return SiDBSystem::from_potentials(std::move(sites), params_, std::move(potentials),
+                                       std::move(external));
 }
 
 PairState GateInstanceCache::read_output(std::size_t o, const ChargeConfig& config) const
@@ -267,8 +327,10 @@ PatternResult simulate_gate_pattern(const GateInstanceCache& cache, std::uint64_
     return result;
 }
 
-OperationalResult check_operational(const GateDesign& design, const SimulationParameters& params,
-                                    Engine engine, const core::RunBudget& run)
+namespace
+{
+
+void require_pattern_arity(const GateDesign& design)
 {
     if (design.num_inputs() > max_gate_inputs)
     {
@@ -277,12 +339,15 @@ OperationalResult check_operational(const GateDesign& design, const SimulationPa
                                     " inputs; the pattern enumeration supports at most " +
                                     std::to_string(max_gate_inputs)};
     }
-    OperationalResult result;
-    result.patterns_total = 1ULL << design.num_inputs();
+}
 
-    // one pattern-invariant potential cache shared (read-only) by the whole
-    // fan-out: the fixed n x n block is evaluated once, not 2^k times
-    const GateInstanceCache cache{design, params};
+/// Shared pattern fan-out of both check_operational overloads: the prebuilt
+/// cache (defect-free or defect-aware) is shared read-only by the whole run.
+OperationalResult check_operational_cached(const GateInstanceCache& cache, Engine engine,
+                                           const core::RunBudget& run)
+{
+    OperationalResult result;
+    result.patterns_total = 1ULL << cache.design().num_inputs();
 
     // the per-pattern simulations are independent; fan them out and write
     // each result into its pattern-indexed slot (patterns skipped after a
@@ -292,9 +357,10 @@ OperationalResult check_operational(const GateDesign& design, const SimulationPa
     {
         result.details[p].pattern = p;  // keep indices on skipped slots, too
     }
-    core::parallel_for(params.num_threads, result.patterns_total, run, [&](std::size_t pattern) {
-        result.details[pattern] = simulate_gate_pattern(cache, pattern, engine, run);
-    });
+    core::parallel_for(cache.parameters().num_threads, result.patterns_total, run,
+                       [&](std::size_t pattern) {
+                           result.details[pattern] = simulate_gate_pattern(cache, pattern, engine, run);
+                       });
     result.cancelled = run.stopped();
 
     for (const auto& pr : result.details)
@@ -306,6 +372,37 @@ OperationalResult check_operational(const GateDesign& design, const SimulationPa
     }
     result.operational = result.patterns_correct == result.patterns_total;
     return result;
+}
+
+}  // namespace
+
+OperationalResult check_operational(const GateDesign& design, const SimulationParameters& params,
+                                    Engine engine, const core::RunBudget& run)
+{
+    require_pattern_arity(design);
+    // one pattern-invariant potential cache shared (read-only) by the whole
+    // fan-out: the fixed n x n block is evaluated once, not 2^k times
+    const GateInstanceCache cache{design, params};
+    return check_operational_cached(cache, engine, run);
+}
+
+OperationalResult check_operational(const GateDesign& design, const SimulationParameters& params,
+                                    const DefectSurface& defects, Engine engine,
+                                    const core::RunBudget& run)
+{
+    require_pattern_arity(design);
+    const GateInstanceCache cache{design, params, &defects};
+    if (cache.blocked())
+    {
+        // nothing is simulated: the blocked site's Coulomb terms may be
+        // singular, and the design cannot be fabricated as laid out anyway
+        OperationalResult result;
+        result.patterns_total = 1ULL << design.num_inputs();
+        result.blocked = true;
+        result.blocked_reason = cache.blocked_reason();
+        return result;
+    }
+    return check_operational_cached(cache, engine, run);
 }
 
 }  // namespace bestagon::phys

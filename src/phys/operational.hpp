@@ -13,6 +13,7 @@
 
 #include "core/run_control.hpp"
 #include "logic/truth_table.hpp"
+#include "phys/defect.hpp"
 #include "phys/ground_state.hpp"
 #include "phys/model.hpp"
 
@@ -117,11 +118,26 @@ enum class PairState : std::uint8_t
 class GateInstanceCache
 {
   public:
-    GateInstanceCache(const GateDesign& design, const SimulationParameters& params);
+    /// With a non-null \p defects surface, charged defects contribute a
+    /// precomputed external-potential row per site (including both driver
+    /// positions of every input), and blocked sites are detected once at
+    /// construction (see blocked()). nullptr or an empty surface keeps the
+    /// legacy defect-free behavior at zero cost.
+    GateInstanceCache(const GateDesign& design, const SimulationParameters& params,
+                      const DefectSurface* defects = nullptr);
 
     [[nodiscard]] const GateDesign& design() const noexcept { return *design_; }
     [[nodiscard]] const SimulationParameters& parameters() const noexcept { return params_; }
     [[nodiscard]] std::size_t num_sites() const noexcept { return base_sites_.size(); }
+
+    /// True when a defect blocks any instance site (fixed, either driver
+    /// position, or perturber). A blocked design cannot be fabricated as
+    /// laid out; instantiate() must not be called (the blocked site's
+    /// Coulomb terms may be singular).
+    [[nodiscard]] bool blocked() const noexcept { return blocked_; }
+
+    /// One-line description of the first blocked site (empty when none).
+    [[nodiscard]] const std::string& blocked_reason() const noexcept { return blocked_reason_; }
 
     /// Assembles the simulation instance for \p pattern from the precomputed
     /// blocks. Site order matches GateDesign::instance_sites: permanent
@@ -152,6 +168,10 @@ class GateInstanceCache
     std::vector<double> fixed_block_;      ///< n x n matrix, driver rows/cols zero
     std::vector<double> driver_rows_;      ///< 2 rows (far, near) of length n per driver
     std::vector<double> driver_pairs_;     ///< V for every driver pair x 4 state combos
+    std::vector<double> external_fixed_;   ///< W per site (driver slots: far W); empty = none
+    std::vector<double> external_driver_;  ///< W at (far, near) position per driver
+    bool blocked_{false};                  ///< a defect blocks an instance site
+    std::string blocked_reason_;
     std::vector<std::size_t> output_zero_index_;
     std::vector<std::size_t> output_one_index_;
     std::vector<std::string> output_pair_errors_;
@@ -193,6 +213,9 @@ struct OperationalResult
     bool cancelled{false};  ///< the check was cut by a run budget; unevaluated
                             ///< patterns have evaluated == false and count as
                             ///< incorrect, so `operational` stays conservative
+    bool blocked{false};    ///< a defect blocks an instance site: nothing was
+                            ///< simulated, the gate cannot be fabricated as-is
+    std::string blocked_reason;  ///< which site/defect collided (empty if none)
 };
 
 /// Largest input arity the pattern enumeration supports (the pattern count
@@ -206,6 +229,18 @@ inline constexpr unsigned max_gate_inputs = 63;
 /// max_gate_inputs inputs.
 [[nodiscard]] OperationalResult check_operational(const GateDesign& design,
                                                   const SimulationParameters& params,
+                                                  Engine engine = Engine::automatic,
+                                                  const core::RunBudget& run = {});
+
+/// Defect-aware operational check: if a defect blocks any instance site the
+/// result is non-operational with blocked = true and nothing is simulated
+/// (the fast path of the Monte-Carlo yield sweep); otherwise all patterns
+/// are simulated with the charged defects' external potentials folded into
+/// every local potential. An empty surface reproduces the defect-free
+/// overload bit-for-bit.
+[[nodiscard]] OperationalResult check_operational(const GateDesign& design,
+                                                  const SimulationParameters& params,
+                                                  const DefectSurface& defects,
                                                   Engine engine = Engine::automatic,
                                                   const core::RunBudget& run = {});
 

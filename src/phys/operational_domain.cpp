@@ -22,9 +22,14 @@ double OperationalDomain::coverage() const
     return static_cast<double>(ok) / static_cast<double>(points.size());
 }
 
-OperationalDomain compute_operational_domain(const GateDesign& design, const SimulationParameters& base,
-                                             const DomainSweep& sweep, Engine engine,
-                                             const core::RunBudget& run)
+namespace
+{
+
+OperationalDomain compute_operational_domain_impl(const GateDesign& design,
+                                                  const SimulationParameters& base,
+                                                  const DomainSweep& sweep,
+                                                  const DefectSurface* defects, Engine engine,
+                                                  const core::RunBudget& run)
 {
     OperationalDomain domain;
     domain.sweep = sweep;
@@ -72,14 +77,34 @@ OperationalDomain compute_operational_domain(const GateDesign& design, const Sim
         // pattern-invariant potential matrix per grid point — the potentials
         // depend on (epsilon_r, lambda_tf, mu) and cannot be shared across
         // points, but within a point the 2^k patterns share the fixed block
-        const auto result = check_operational(design, params, engine, run);
+        const auto result = defects != nullptr
+                                ? check_operational(design, params, *defects, engine, run)
+                                : check_operational(design, params, engine, run);
         point.operational = result.operational && !result.cancelled;
         point.patterns_correct = result.patterns_correct;
+        // a blocked point counts as evaluated: the verdict (non-operational,
+        // unfabricable) is final even though nothing was simulated
         point.evaluated = !result.cancelled;
         domain.points[index] = point;
     });
     domain.cancelled = run.stopped();
     return domain;
+}
+
+}  // namespace
+
+OperationalDomain compute_operational_domain(const GateDesign& design, const SimulationParameters& base,
+                                             const DomainSweep& sweep, Engine engine,
+                                             const core::RunBudget& run)
+{
+    return compute_operational_domain_impl(design, base, sweep, nullptr, engine, run);
+}
+
+OperationalDomain compute_operational_domain(const GateDesign& design, const SimulationParameters& base,
+                                             const DomainSweep& sweep, const DefectSurface& defects,
+                                             Engine engine, const core::RunBudget& run)
+{
+    return compute_operational_domain_impl(design, base, sweep, &defects, engine, run);
 }
 
 }  // namespace bestagon::phys

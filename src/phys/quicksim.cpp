@@ -7,6 +7,8 @@
 #include <cmath>
 #include <limits>
 #include <random>
+#include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -156,6 +158,11 @@ std::pair<ChargeConfig, double> quicksim_instance(const SiDBSystem& system,
 GroundStateResult quicksim_ground_state(const SiDBSystem& system, const QuickSimParameters& params,
                                         const core::RunBudget& run)
 {
+    if (!(params.hop_temperature > 0.0) || !std::isfinite(params.hop_temperature))
+    {
+        throw std::invalid_argument{"QuickSimParameters: non-positive hop_temperature " +
+                                    std::to_string(params.hop_temperature)};
+    }
     const std::size_t n = system.size();
     GroundStateResult best;
     best.grand_potential = std::numeric_limits<double>::infinity();

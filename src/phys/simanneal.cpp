@@ -8,6 +8,8 @@
 #include <cmath>
 #include <limits>
 #include <random>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace bestagon::phys
@@ -110,6 +112,11 @@ std::pair<ChargeConfig, double> anneal_instance(const SiDBSystem& system,
 GroundStateResult simulated_annealing(const SiDBSystem& system, const SimAnnealParameters& params,
                                       const core::RunBudget& run)
 {
+    if (!(params.initial_temperature > 0.0) || !std::isfinite(params.initial_temperature))
+    {
+        throw std::invalid_argument{"SimAnnealParameters: non-positive initial_temperature " +
+                                    std::to_string(params.initial_temperature)};
+    }
     const std::size_t n = system.size();
     GroundStateResult best;
     best.grand_potential = std::numeric_limits<double>::infinity();

@@ -7,6 +7,8 @@
 #include "logic/rewriting.hpp"
 #include "logic/tech_mapping.hpp"
 #include "phys/charge_state.hpp"
+#include "phys/defect.hpp"
+#include "phys/defect_sweep.hpp"
 #include "phys/exhaustive.hpp"
 #include "phys/ground_state_exact.hpp"
 #include "phys/quicksim.hpp"
@@ -843,6 +845,238 @@ OracleVerdict charge_state_differential(const std::vector<phys::SiDBSite>& canva
                 << " degenerate configurations; the naive brute force counted " << degeneracy;
             return fail(out.str());
         }
+    }
+    return {};
+}
+
+OracleVerdict defect_differential(const phys::GateDesign& design,
+                                  const phys::SimulationParameters& sim_params, std::uint64_t seed,
+                                  double tolerance, DefectFault fault)
+{
+    if (design.sites.empty() || design.num_inputs() == 0)
+    {
+        return fail("defect oracle needs a design with sites and at least one input");
+    }
+    std::ostringstream out;
+
+    // --- 1. defect-free bit-identity ----------------------------------------
+    const phys::DefectSurface no_defects;
+    const auto plain = phys::check_operational(design, sim_params);
+    const auto via_empty = phys::check_operational(design, sim_params, no_defects);
+    if (via_empty.blocked || via_empty.operational != plain.operational ||
+        via_empty.patterns_correct != plain.patterns_correct ||
+        via_empty.details.size() != plain.details.size())
+    {
+        return fail("an empty defect surface changed the check_operational verdict");
+    }
+    for (std::size_t p = 0; p < plain.details.size(); ++p)
+    {
+        if (via_empty.details[p].ground_state.config != plain.details[p].ground_state.config ||
+            via_empty.details[p].ground_state.grand_potential !=
+                plain.details[p].ground_state.grand_potential)
+        {
+            out << "pattern " << p << " ground state is not bit-identical between the legacy "
+                << "defect-free path and an empty defect surface";
+            return fail(out.str());
+        }
+    }
+
+    const auto canvas = design.instance_sites(0);
+    const phys::SiDBSystem empty_system{canvas, sim_params, no_defects};
+    if (empty_system.has_external_potentials())
+    {
+        return fail("an empty defect surface allocated an external-potential row");
+    }
+
+    // --- 2. external potentials vs. fresh first-principles sums --------------
+    // a seeded all-charged surface around the design; defects that would
+    // block a canvas site are dropped (the system constructor rejects them,
+    // by design — their Coulomb term would be singular)
+    const auto region = phys::sweep_region(design, 5.0);
+    phys::DefectSampleParams sample_params;
+    sample_params.density_per_nm2 = 0.05;
+    sample_params.charged_fraction = 1.0;
+    phys::DefectSurface surface;
+    const auto raw = phys::sample_defect_surface(region, sample_params, seed);
+    for (const auto& d : raw.defects())
+    {
+        phys::DefectSurface one;
+        one.add(d);
+        if (!one.blocks_any(canvas))
+        {
+            surface.add(d);
+        }
+    }
+    if (!surface.has_charged())
+    {
+        // degenerate draw on a tiny region: pin one charged defect at the
+        // region corner (the sweep margin keeps it off every canvas site)
+        phys::SurfaceDefect corner;
+        corner.site = phys::SiDBSite{region.n_min, region.m_min, 0};
+        surface.add(corner);
+    }
+
+    const phys::SiDBSystem system{canvas, sim_params, surface};
+    const std::size_t n = system.size();
+    std::vector<double> fresh_w(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        for (const auto& d : surface.defects())
+        {
+            if (d.kind != phys::DefectKind::charged)
+            {
+                continue;
+            }
+            const double dx = canvas[i].x() - d.site.x();
+            const double dy = canvas[i].y() - d.site.y();
+            fresh_w[i] += -d.charge *
+                          phys::screened_coulomb(std::sqrt(dx * dx + dy * dy), sim_params);
+        }
+        if (std::abs(system.external_potential(i) - fresh_w[i]) > tolerance)
+        {
+            out << "system W_" << i << " = " << system.external_potential(i)
+                << " diverges from the fresh per-defect Coulomb sum " << fresh_w[i];
+            return fail(out.str());
+        }
+    }
+
+    // kernel cache on a seeded random configuration; with the fault injected
+    // the rebuild drops W and the v_i comparison below must flag it
+    Rng rng{seed};
+    phys::ChargeConfig config(n, 0);
+    for (auto& c : config)
+    {
+        c = rng.chance(0.5) ? 1 : 0;
+    }
+    phys::ChargeState kernel{system, config};
+    if (fault == DefectFault::ignore_defect_potentials)
+    {
+        kernel.testkit_rebuild_ignore_external();
+    }
+    double fresh_pairs = 0.0;
+    double fresh_external = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+    {
+        double v = fresh_w[i];
+        for (std::size_t j = 0; j < n; ++j)
+        {
+            if (j != i && config[j] != 0)
+            {
+                v += system.potential(i, j);
+            }
+        }
+        if (std::abs(kernel.local_potential(i) - v) > tolerance)
+        {
+            out << "cached v_" << i << " = " << kernel.local_potential(i)
+                << " diverges from the fresh sum W_i + sum_j V_ij n_j = " << v
+                << " on the charged defect surface (" << surface.size() << " defects)";
+            return fail(out.str());
+        }
+        if (config[i] != 0)
+        {
+            fresh_external += fresh_w[i];
+            for (std::size_t j = i + 1; j < n; ++j)
+            {
+                if (config[j] != 0)
+                {
+                    fresh_pairs += system.potential(i, j);
+                }
+            }
+        }
+    }
+    if (std::abs(kernel.electrostatic_energy() - (fresh_pairs + fresh_external)) >
+        tolerance * static_cast<double>(n))
+    {
+        out << "cached electrostatic energy " << kernel.electrostatic_energy()
+            << " diverges from the naive pair sum + defect term "
+            << fresh_pairs + fresh_external;
+        return fail(out.str());
+    }
+    if (std::abs(kernel.grand_potential() - system.grand_potential(config)) >
+        tolerance * static_cast<double>(n))
+    {
+        out << "cached grand potential " << kernel.grand_potential()
+            << " diverges from the fresh evaluation " << system.grand_potential(config);
+        return fail(out.str());
+    }
+
+    // both complete engines see W through the shared kernel — on the defect
+    // system they must still agree bit-for-bit
+    if (n <= 24)
+    {
+        const auto reference = phys::exhaustive_ground_state(system);
+        const auto exact = phys::exact_ground_state(system);
+        if (!reference.complete || !exact.complete)
+        {
+            return fail("a complete engine did not finish on the defect system");
+        }
+        if (exact.grand_potential != reference.grand_potential ||
+            exact.config != reference.config || exact.degeneracy != reference.degeneracy)
+        {
+            out << "exact (" << exact.grand_potential << " eV) and exhaustive ("
+                << reference.grand_potential
+                << " eV) ground states diverge on the defect system";
+            return fail(out.str());
+        }
+    }
+
+    // --- 3. yield-sweep invariants -------------------------------------------
+    phys::DefectSweepParams sweep;
+    sweep.densities_per_nm2 = {0.005, 0.01, 0.02};
+    sweep.samples = 6;
+    sweep.seed = seed;
+    sweep.num_threads = 1;
+    const auto serial = phys::defect_yield_sweep(design, sim_params, sweep);
+    if (serial.cancelled)
+    {
+        return fail("unbudgeted yield sweep reported cancellation");
+    }
+    for (std::size_t k = 0; k < serial.points.size(); ++k)
+    {
+        const auto& point = serial.points[k];
+        if (point.samples_evaluated != sweep.samples)
+        {
+            out << "density point " << k << " evaluated " << point.samples_evaluated << " of "
+                << sweep.samples << " samples without a budget";
+            return fail(out.str());
+        }
+        if (point.operational + point.blocked > point.samples_evaluated)
+        {
+            out << "density point " << k << " counts more outcomes than samples";
+            return fail(out.str());
+        }
+        if (k > 0 && point.operational > serial.points[k - 1].operational)
+        {
+            out << "survival curve is not monotone: " << serial.points[k - 1].operational
+                << " operational at density " << serial.points[k - 1].density_per_nm2 << " but "
+                << point.operational << " at the higher density " << point.density_per_nm2;
+            return fail(out.str());
+        }
+    }
+    sweep.num_threads = 3;
+    const auto threaded = phys::defect_yield_sweep(design, sim_params, sweep);
+    if (threaded.points.size() != serial.points.size())
+    {
+        return fail("thread count changed the number of sweep points");
+    }
+    for (std::size_t k = 0; k < serial.points.size(); ++k)
+    {
+        if (threaded.points[k].operational != serial.points[k].operational ||
+            threaded.points[k].blocked != serial.points[k].blocked ||
+            threaded.points[k].samples_evaluated != serial.points[k].samples_evaluated)
+        {
+            out << "yield sweep is not thread-count invariant at density point " << k << " ("
+                << serial.points[k].operational << "/" << serial.points[k].samples_evaluated
+                << " serial vs " << threaded.points[k].operational << "/"
+                << threaded.points[k].samples_evaluated << " on 3 threads)";
+            return fail(out.str());
+        }
+    }
+
+    if (fault == DefectFault::ignore_defect_potentials)
+    {
+        return fail("ignore_defect_potentials fault was injected but every check passed — the "
+                    "oracle lost its mutation coverage");
     }
     return {};
 }

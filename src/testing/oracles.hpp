@@ -30,6 +30,7 @@
 #include "logic/network.hpp"
 #include "layout/exact_physical_design.hpp"
 #include "phys/model.hpp"
+#include "phys/operational.hpp"
 #include "phys/simanneal.hpp"
 #include "sat/dimacs.hpp"
 
@@ -167,6 +168,41 @@ enum class ChargeStateFault : std::uint8_t
     const std::vector<phys::SiDBSite>& canvas, const phys::SimulationParameters& sim_params,
     const phys::SimAnnealParameters& anneal_params, std::uint64_t seed, unsigned num_moves = 256,
     double tolerance = 1e-12, ChargeStateFault fault = ChargeStateFault::none);
+
+// --- 2c. defects: external potentials, blocking, yield sweep -----------------
+
+enum class DefectFault : std::uint8_t
+{
+    none,
+    /// The kernel rebuild drops the charged-defect background W — models an
+    /// engine that forgot the external potentials (the defect analogue of
+    /// skip_cache_update).
+    ignore_defect_potentials
+};
+
+/// Differential oracle for the defect-aware simulation path, in four parts:
+///
+///  1. *Defect-free bit-identity*: an EMPTY DefectSurface must be
+///     indistinguishable from the legacy no-defect code path — bit-identical
+///     local potentials, ground states and check_operational verdicts (the
+///     zero-cost-when-unused contract of defect.hpp).
+///  2. *External-potential fidelity*: on a seeded charged surface around the
+///     design, every cached quantity is checked against fresh O(n^2) sums
+///     evaluated here from first principles (screened Coulomb per defect):
+///     the system's W row, every cached kernel v_i after seeded random
+///     commits, and the O(n) cached energies, all within \p tolerance.
+///     The exact engine must agree bit-identically with the exhaustive
+///     reference on the defect system (both see W through the kernel).
+///  3. *Yield-sweep invariants*: a small Monte-Carlo sweep over \p design
+///     must evaluate every sample, produce a monotonically non-increasing
+///     survival curve, and be bit-identical between 1 and 3 worker threads.
+///  4. With DefectFault::ignore_defect_potentials, the kernel cache is
+///     rebuilt without W mid-check; the oracle must detect the divergence
+///     (mutation coverage for the oracle itself).
+[[nodiscard]] OracleVerdict defect_differential(const phys::GateDesign& design,
+                                                const phys::SimulationParameters& sim_params,
+                                                std::uint64_t seed, double tolerance = 1e-12,
+                                                DefectFault fault = DefectFault::none);
 
 // --- 3. physical design: exact vs. scalable --------------------------------
 

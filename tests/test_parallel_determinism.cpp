@@ -3,6 +3,7 @@
 ///        fan-out point must produce bit-identical results at 1 thread vs N
 ///        threads and across repeated runs with the same seed.
 
+#include "phys/defect_sweep.hpp"
 #include "phys/gate_designer.hpp"
 #include "phys/operational_domain.hpp"
 #include "phys/simanneal.hpp"
@@ -243,6 +244,35 @@ TEST(ParallelDeterminism, ExcessiveInputArityIsRejectedNotOverflowed)
     EXPECT_THROW((void)check_operational(d, p), std::invalid_argument);
     DesignerOptions options;
     EXPECT_THROW((void)design_gate(d, {{0, 50, 0}}, options, p), std::invalid_argument);
+}
+
+TEST(ParallelDeterminism, DefectYieldSweepMatchesSerialForAnyThreadCount)
+{
+    const auto design = vertical_wire();
+    DefectSweepParams sweep;
+    sweep.densities_per_nm2 = {0.002, 0.01, 0.03};
+    sweep.samples = 12;
+    sweep.num_threads = 1;
+    const auto reference = defect_yield_sweep(design, SimulationParameters{}, sweep);
+    ASSERT_FALSE(reference.cancelled);
+    for (const unsigned threads : {2U, 4U, 8U})
+    {
+        sweep.num_threads = threads;
+        const auto parallel = defect_yield_sweep(design, SimulationParameters{}, sweep);
+        ASSERT_EQ(parallel.points.size(), reference.points.size());
+        for (std::size_t k = 0; k < reference.points.size(); ++k)
+        {
+            EXPECT_EQ(parallel.points[k].density_per_nm2, reference.points[k].density_per_nm2);
+            EXPECT_EQ(parallel.points[k].samples_evaluated,
+                      reference.points[k].samples_evaluated);
+            EXPECT_EQ(parallel.points[k].operational, reference.points[k].operational);
+            EXPECT_EQ(parallel.points[k].blocked, reference.points[k].blocked);
+        }
+    }
+    // the serialized curves are byte-identical too (the CLI's artifact)
+    sweep.num_threads = 3;
+    EXPECT_EQ(to_json(defect_yield_sweep(design, SimulationParameters{}, sweep)),
+              to_json(reference));
 }
 
 }  // namespace
