@@ -1,0 +1,75 @@
+/// \file aspect_ratio_ladder.hpp
+/// \brief Lazy ascending-area stream of candidate layout sizes with
+///        dominance pruning over refuted sizes.
+///
+/// The exact physical-design ladder explores aspect ratios in ascending area
+/// (ties broken toward the smaller height), so the first satisfiable size is
+/// area-minimal. This class streams that order lazily — no up-front
+/// max_width × max_height materialization — via a k-way merge: per width the
+/// candidate heights are already sorted, so the next size overall is the
+/// minimum over one cursor per width.
+///
+/// Dominance pruning: the encoding is monotone in the grid — a layout for
+/// (w, h) embeds into (w+1, h) unchanged and into (w, h+1) by pushing the
+/// output row down one step (every row-(h-1) tile has a lower neighbor in
+/// the same column of the odd-r hex grid, so the push-down is injective).
+/// Hence SAT is upward-closed and UNSAT is downward-closed: a refutation at
+/// (W, H) also refutes every (w ≤ W, h ≤ H). record_refuted() keeps the
+/// Pareto-maximal refuted sizes and next() skips dominated candidates.
+/// Under the pure ascending-area order a dominated size always has strictly
+/// smaller area and thus would have been streamed earlier — the skip is a
+/// provably-inert safety net there — but it becomes load-bearing whenever a
+/// caller re-walks sizes (diagnosis, resumed ladders) or a budget cut skips
+/// ahead.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bestagon::layout
+{
+
+struct AspectRatio
+{
+    unsigned width{0};
+    unsigned height{0};
+
+    [[nodiscard]] constexpr unsigned area() const noexcept { return width * height; }
+    constexpr bool operator==(const AspectRatio&) const noexcept = default;
+};
+
+class AspectRatioLadder
+{
+  public:
+    /// Streams every (w, h) with min_width <= w <= max_width and
+    /// min_height <= h <= max_height. Degenerate bounds (min > max) yield an
+    /// empty stream.
+    AspectRatioLadder(unsigned min_width, unsigned max_width, unsigned min_height,
+                      unsigned max_height);
+
+    /// Next candidate in ascending (area, height) order, skipping sizes
+    /// dominated by a recorded refutation; false when exhausted.
+    [[nodiscard]] bool next(AspectRatio& out);
+
+    /// Records that \p size was proven unsatisfiable, refuting everything
+    /// componentwise smaller as well.
+    void record_refuted(AspectRatio size);
+
+    /// Whether \p size is componentwise covered by a recorded refutation.
+    [[nodiscard]] bool refuted_covers(AspectRatio size) const;
+
+    /// Number of candidates next() skipped due to dominance so far.
+    [[nodiscard]] std::size_t skipped() const noexcept { return skipped_; }
+
+  private:
+    unsigned min_width_;
+    unsigned max_width_;
+    unsigned min_height_;
+    unsigned max_height_;
+    std::vector<unsigned> next_height_;  ///< per-width cursor, indexed by w - min_width_
+    std::vector<AspectRatio> refuted_;   ///< Pareto-maximal refuted sizes
+    std::size_t skipped_{0};
+};
+
+}  // namespace bestagon::layout

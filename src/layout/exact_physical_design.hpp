@@ -12,6 +12,7 @@
 #pragma once
 
 #include "core/run_control.hpp"
+#include "layout/aspect_ratio_ladder.hpp"
 #include "layout/gate_level_layout.hpp"
 #include "logic/network.hpp"
 #include "phys/defect.hpp"
@@ -37,9 +38,26 @@ struct ExactPDOptions
     /// time_budget_ms. Default: unlimited.
     core::RunBudget run{};
 
+    /// Walk the aspect-ratio ladder on ONE persistent solver: the encoding
+    /// grows monotonically (new tiles => new variables and clauses, never
+    /// retraction) and each size is a solve(assumptions) call, so learned
+    /// clauses and search heuristics carry across ratios (DESIGN.md §14).
+    /// Off = the legacy fresh-encoding-per-size path, kept alive as the
+    /// differential oracle's reference lane.
+    bool incremental{true};
+
     /// Emit a DRAT proof for every aspect ratio the solver refutes and check
     /// it with the independent proof checker; results land in ExactPDStats.
+    /// In incremental mode each rejected ratio is certified UNSAT under its
+    /// size assumptions (assumption unit clauses + the cumulative proof).
     bool certify_unsat{false};
+
+    /// Test-only fault injection: solve every size under the FIRST grid
+    /// generation's activation literal (the selector never advances), leaving
+    /// all newer completeness clauses unasserted. The incremental-vs-fresh
+    /// differential oracle must catch the resulting spurious verdicts (see
+    /// testing/oracles.hpp).
+    bool testkit_leak_stale_activation{false};
 
     /// On a declined instance (no layout, budget NOT exhausted), re-encode
     /// the largest aspect ratio with per-constraint-group guard literals and
@@ -62,13 +80,28 @@ struct ExactPDOptions
     phys::DefectSurface defects{};
 };
 
+/// Per-aspect-ratio SAT verdict of one exact-P&R run, in ladder order.
+struct SizeVerdict
+{
+    AspectRatio size{};
+    sat::Result result{sat::Result::unknown};
+};
+
 struct ExactPDStats
 {
     unsigned sizes_tried{0};
+    unsigned sizes_skipped{0};  ///< pruned as dominated by a refuted size
     std::uint64_t total_conflicts{0};
     bool budget_exhausted{false};
     bool cancelled{false};  ///< the run's StopToken requested a stop
     std::string message;
+
+    /// Number of grid growths of the persistent incremental encoding (0 on
+    /// the fresh-per-size path).
+    unsigned grid_generations{0};
+
+    /// SAT/UNSAT/unknown per explored aspect ratio, in exploration order.
+    std::vector<SizeVerdict> size_verdicts;
 
     unsigned proofs_checked{0};   ///< UNSAT verdicts certified by the checker
     unsigned proof_failures{0};   ///< UNSAT verdicts whose proof did NOT check

@@ -34,19 +34,49 @@ PreprocessingBackend::PreprocessingBackend(PreprocessorOptions options, InnerFac
 
 Var PreprocessingBackend::new_var()
 {
-    dirty_ = dirty_ || inner_ != nullptr;  // extending a preprocessed instance
+    // new variables occur in no clause yet, so the preprocessed instance
+    // stays equisatisfiable — the inner solver is widened lazily instead of
+    // scheduling a rebuild
     return num_vars_++;
 }
 
 bool PreprocessingBackend::add_clause(std::vector<Lit> lits)
 {
-    dirty_ = true;
     const bool empty = lits.empty();
-    original_clauses_.push_back(std::move(lits));
     if (empty)
     {
         formula_unsat_ = true;
+        dirty_ = true;
     }
+    else if (inner_ != nullptr && !dirty_)
+    {
+        // monotone-growth fast path: stream the clause into the live inner
+        // solver. Sound unless it touches an eliminated variable — model
+        // reconstruction only rewrites eliminated variables, so the
+        // reconstructed model satisfies a streamed clause iff the inner
+        // model does, and the traced proof stays checkable because root
+        // clauses only strengthen unit propagation for later lemmas.
+        const bool touches_eliminated =
+            prep_ != nullptr && std::any_of(lits.begin(), lits.end(),
+                                            [this](Lit l) { return prep_->eliminated(l.var()); });
+        if (touches_eliminated)
+        {
+            dirty_ = true;
+        }
+        else
+        {
+            while (inner_->num_vars() < num_vars_)
+            {
+                inner_->new_var();
+            }
+            inner_->add_clause(lits);
+        }
+    }
+    else
+    {
+        dirty_ = true;
+    }
+    original_clauses_.push_back(std::move(lits));
     return !empty;
 }
 
@@ -87,6 +117,7 @@ bool PreprocessingBackend::supports_proof_tracing() const
 
 void PreprocessingBackend::rebuild(const std::vector<Lit>& assumptions, const core::Deadline& deadline)
 {
+    ++rebuilds_;
     prep_ = std::make_unique<Preprocessor>(options_);
     prep_->set_num_vars(num_vars_);
     prep_->set_proof_tracer(proof_);
@@ -151,6 +182,12 @@ Result PreprocessingBackend::solve(const std::vector<Lit>& assumptions)
     if (formula_unsat_ || prep_->contradiction())
     {
         return Result::unsatisfiable;  // final_conflict() is the empty core
+    }
+
+    // assumptions may reference variables created after the last rebuild
+    while (inner_->num_vars() < num_vars_)
+    {
+        inner_->new_var();
     }
 
     inner_->set_conflict_budget(conflict_budget_);

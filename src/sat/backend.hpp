@@ -105,6 +105,15 @@ class SatBackend
     /// Number of budget checks between wall-clock polls (see Solver).
     virtual void set_time_check_stride(std::int64_t stride) = 0;
 
+    /// Applies a composed RunBudget: installs its stop token and deadline in
+    /// one call. Callers layering a per-solve relative budget on top combine
+    /// it via RunBudget::clipped_ms() before passing the budget here.
+    void set_run_budget(const core::RunBudget& run)
+    {
+        set_stop_token(run.token);
+        set_deadline(run.deadline);
+    }
+
     // -- proofs --------------------------------------------------------------
 
     /// Whether this backend can stream a DRAT proof. Consumers must skip
@@ -124,12 +133,21 @@ class SatBackend
 
 /// Wraps an inner backend with CNF preprocessing. Clauses are collected
 /// verbatim (they form root_clauses(), the certification target); the first
-/// solve() — or any solve after the formula changed — runs the preprocessor
-/// with the call's assumption variables frozen, loads the simplified formula
-/// into a fresh inner backend, and deducts the preprocessing wall time from
-/// the solve's time budget. SAT models are reconstructed onto the original
-/// variables; UNSAT proofs contain the preprocessor's derivations first, so
-/// they check against the original formula end-to-end.
+/// solve() runs the preprocessor with the call's assumption variables frozen,
+/// loads the simplified formula into a fresh inner backend, and deducts the
+/// preprocessing wall time from the solve's time budget. SAT models are
+/// reconstructed onto the original variables; UNSAT proofs contain the
+/// preprocessor's derivations first, so they check against the original
+/// formula end-to-end.
+///
+/// Incremental contract: growing the formula after the first solve() does
+/// NOT schedule a re-preprocess. New variables and clauses that avoid
+/// eliminated variables stream straight into the live inner solver, so
+/// learned clauses and heuristic state persist across a monotone ladder of
+/// solve(assumptions) calls (see DESIGN.md §14). Only a clause touching an
+/// eliminated variable, a freeze() of an eliminated variable, an assumption
+/// over one, or late tracer attachment forces a rebuild — rebuild_count()
+/// exposes how often that happened so tests can pin the contract.
 class PreprocessingBackend final : public SatBackend
 {
   public:
@@ -163,6 +181,10 @@ class PreprocessingBackend final : public SatBackend
     /// Statistics of the most recent preprocessing run.
     [[nodiscard]] const PreprocessorStats& preprocessor_stats() const noexcept { return prep_stats_; }
 
+    /// Number of preprocess-and-reload cycles so far. Monotone incremental
+    /// use (grow, solve, grow, solve, ...) must keep this at 1.
+    [[nodiscard]] std::size_t rebuild_count() const noexcept { return rebuilds_; }
+
     /// Test-only fault hooks for the differential oracle (see oracles.cpp):
     /// return raw inner models without reconstruction / strip the
     /// preprocessor's proof steps while keeping the transformation.
@@ -179,6 +201,7 @@ class PreprocessingBackend final : public SatBackend
     int num_vars_{0};
     bool dirty_{false};
     bool formula_unsat_{false};
+    std::size_t rebuilds_{0};
 
     std::unique_ptr<Preprocessor> prep_;
     std::unique_ptr<SatBackend> inner_;

@@ -1,0 +1,52 @@
+// Fixture: C1 — the incremental-ladder-loop shape. A ladder walk over one
+// persistent solver accepts a run budget but never polls it between solves:
+// each solve_size call can burn a full conflict budget, so an unpolled walk
+// ignores cancellation for the whole ladder. Seeded violation: the while
+// loop below (exactly one diagnostic expected).
+namespace fixture
+{
+
+struct RunBudget
+{
+    bool stopped() const;
+};
+
+struct AspectRatio
+{
+    unsigned width{0};
+    unsigned height{0};
+};
+
+struct Ladder
+{
+    bool next(AspectRatio& out);
+    void record_refuted(AspectRatio size);
+};
+
+struct PersistentEncoding
+{
+    int solve_size(AspectRatio size, long conflict_budget);
+};
+
+int run_ladder(PersistentEncoding& encoding, Ladder& ladder, const RunBudget& run)
+{
+    int found = 0;
+    int attempts = 0;
+    AspectRatio size;
+    while (ladder.next(size))
+    {
+        ++attempts;
+        const int verdict = encoding.solve_size(size, 300000);
+        if (verdict > 0)
+        {
+            ++found;
+        }
+        if (verdict < 0)
+        {
+            ladder.record_refuted(size);
+        }
+    }
+    return found + attempts;
+}
+
+}  // namespace fixture

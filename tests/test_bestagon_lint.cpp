@@ -163,6 +163,22 @@ TEST(LintCancellation, CleanFixturePasses)
         << "a polled loop and a 0-latched countdown must both pass";
 }
 
+TEST(LintCancellation, UnpolledIncrementalLadderFixtureIsCaught)
+{
+    // the PR-10 shape: a persistent-solver ladder walk that accepts a
+    // RunBudget but never polls it between solve_size calls
+    const auto report = lint_file(fixture("src/layout/c1_incremental_ladder.cpp"));
+    EXPECT_EQ(count_id(report, CheckId::c_unpolled_loop), 1U)
+        << "the unpolled ladder loop must be flagged";
+}
+
+TEST(LintCancellation, PolledIncrementalLadderFixturePasses)
+{
+    const auto report = lint_file(fixture("src/layout/c_ladder_clean.cpp"));
+    EXPECT_EQ(report.active_count(), 0U)
+        << "a ladder walk that polls its budget per solve must pass";
+}
+
 TEST(LintCancellation, LatchesAreTrackedPerCountdownVariable)
 {
     // the latched countdown must not excuse the unlatched one next to it

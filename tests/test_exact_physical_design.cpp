@@ -1,9 +1,12 @@
 #include "layout/exact_physical_design.hpp"
 
+#include "layout/apply_gate_library.hpp"
+#include "layout/defect_map.hpp"
 #include "layout/design_rules.hpp"
 #include "logic/benchmarks.hpp"
 #include "logic/rewriting.hpp"
 #include "logic/tech_mapping.hpp"
+#include "phys/defect.hpp"
 
 #include <gtest/gtest.h>
 
@@ -100,6 +103,131 @@ TEST(ExactPD, CertifiesEveryUnsatSize)
     EXPECT_GT(stats.sizes_tried, 0U);
     EXPECT_EQ(stats.proofs_checked, stats.sizes_tried);  // every decline certified
     EXPECT_EQ(stats.proof_failures, 0U);
+}
+
+/// The fresh-per-size reference lane (incremental = false) must certify its
+/// refuted sizes exactly like the persistent-solver lane does.
+TEST(ExactPD, FreshLaneCertifiesEveryUnsatSize)
+{
+    const auto n = congestion_network();
+    ExactPDOptions opt;
+    opt.incremental = false;
+    opt.max_width = 3;
+    opt.max_height = minimum_height(n);
+    opt.certify_unsat = true;
+    ExactPDStats stats;
+    const auto layout = exact_physical_design(n, opt, &stats);
+    EXPECT_FALSE(layout.has_value());
+    EXPECT_FALSE(stats.budget_exhausted);
+    EXPECT_GT(stats.sizes_tried, 0U);
+    EXPECT_EQ(stats.proofs_checked, stats.sizes_tried);
+    EXPECT_EQ(stats.proof_failures, 0U);
+    EXPECT_EQ(stats.grid_generations, 0U);  // no persistent grid on this lane
+}
+
+TEST(ExactPD, RecordsPerSizeVerdictsAndGridGenerations)
+{
+    const auto n = congestion_network();
+    ExactPDOptions opt;
+    opt.max_width = 3;
+    opt.max_height = minimum_height(n);
+    ExactPDStats stats;
+    const auto layout = exact_physical_design(n, opt, &stats);
+    ASSERT_FALSE(layout.has_value());
+    ASSERT_EQ(stats.size_verdicts.size(), stats.sizes_tried);
+    for (const auto& v : stats.size_verdicts)
+    {
+        EXPECT_EQ(v.result, sat::Result::unsatisfiable)
+            << v.size.width << "x" << v.size.height << " was not refuted";
+    }
+    // widths 2 and 3 at the single feasible height: the union grid grew once
+    // per width step of the ladder
+    EXPECT_GE(stats.grid_generations, 2U);
+}
+
+/// A starved conflict budget cuts sizes mid-ladder: the run must latch
+/// budget_exhausted (suppressing any infeasibility diagnosis), keep walking
+/// the remaining ratios, and record the unknown verdicts it collected.
+TEST(ExactPD, BudgetExhaustionMidLadderIsLatchedAndDiagnosisSkipped)
+{
+    const auto n = congestion_network();
+    ExactPDOptions opt;
+    opt.max_width = 3;
+    opt.max_height = minimum_height(n);
+    opt.conflicts_per_size = 1;
+    opt.diagnose_infeasibility = true;
+    ExactPDStats stats;
+    const auto layout = exact_physical_design(n, opt, &stats);
+    EXPECT_FALSE(layout.has_value());
+    EXPECT_TRUE(stats.budget_exhausted);
+    EXPECT_TRUE(stats.refuting_groups.empty());  // a truncated decline proves nothing
+    bool saw_unknown = false;
+    for (const auto& v : stats.size_verdicts)
+    {
+        saw_unknown = saw_unknown || v.result == sat::Result::unknown;
+    }
+    EXPECT_TRUE(saw_unknown);
+}
+
+TEST(ExactPD, PreTrippedTokenCancelsBeforeAnySolve)
+{
+    const auto n = congestion_network();
+    core::StopSource source;
+    source.request_stop();
+    ExactPDOptions opt;
+    opt.run.token = source.token();
+    ExactPDStats stats;
+    const auto layout = exact_physical_design(n, opt, &stats);
+    EXPECT_FALSE(layout.has_value());
+    EXPECT_TRUE(stats.cancelled);
+    EXPECT_EQ(stats.sizes_tried, 0U);
+    EXPECT_EQ(stats.message, "cancelled");
+}
+
+TEST(ExactPD, ZeroTimeBudgetExhaustsBeforeAnySolve)
+{
+    const auto n = congestion_network();
+    ExactPDOptions opt;
+    opt.time_budget_ms = 0;
+    ExactPDStats stats;
+    const auto layout = exact_physical_design(n, opt, &stats);
+    EXPECT_FALSE(layout.has_value());
+    EXPECT_TRUE(stats.budget_exhausted);
+    EXPECT_EQ(stats.sizes_tried, 0U);
+    EXPECT_EQ(stats.message, "time budget exhausted");
+}
+
+/// Both ladder lanes must agree on defect avoidance: same feasibility and
+/// the same area-minimal size when a corner tile is blocked.
+TEST(ExactPD, DefectAvoidanceMatchesBetweenLanes)
+{
+    const auto mapped = mapped_benchmark("xor2");
+    phys::SurfaceDefect corner;
+    corner.site = tile_origin({0, 0});
+    corner.kind = phys::DefectKind::structural;
+    corner.charge = 0.0;
+    corner.exclusion_radius_nm = 1.0;
+
+    ExactPDOptions inc_opt;
+    inc_opt.defects.add(corner);
+    inc_opt.incremental = true;
+    const auto inc = exact_physical_design(mapped, inc_opt);
+
+    ExactPDOptions fresh_opt = inc_opt;
+    fresh_opt.incremental = false;
+    const auto fresh = exact_physical_design(mapped, fresh_opt);
+
+    ASSERT_TRUE(inc.has_value());
+    ASSERT_TRUE(fresh.has_value());
+    EXPECT_EQ(inc->width(), fresh->width());
+    EXPECT_EQ(inc->height(), fresh->height());
+    for (const auto& tile : inc->all_tiles())
+    {
+        if (!inc->is_empty(tile))
+        {
+            EXPECT_FALSE(tile_blocked(tile, inc_opt.defects));
+        }
+    }
 }
 
 TEST(ExactPD, DiagnosesRefutingConstraintGroups)

@@ -242,8 +242,8 @@ TEST(SatPreprocessor, ProofStaysCheckableThroughPreprocessing)
 
 TEST(SatPreprocessor, BackendRebuildsAfterNewClauses)
 {
-    // incremental use: clauses added after a solve trigger a fresh
-    // preprocessing pass, and the verdict tracks the grown formula
+    // incremental use: clauses added after a solve stream into the live
+    // inner solver, and the verdict tracks the grown formula
     PreprocessingBackend backend{};
     const Var a = backend.new_var();
     const Var b = backend.new_var();
@@ -253,6 +253,91 @@ TEST(SatPreprocessor, BackendRebuildsAfterNewClauses)
     backend.add_clause(std::vector<Lit>{neg(a)});
     backend.add_clause(std::vector<Lit>{neg(b)});
     ASSERT_EQ(backend.solve(), sat::Result::unsatisfiable);
+}
+
+TEST(SatPreprocessor, MonotoneGrowthStreamsWithoutRebuild)
+{
+    // the incremental contract: growing the formula with fresh variables and
+    // clauses over non-eliminated variables must NOT re-preprocess — one
+    // rebuild for the first solve, then the inner solver persists
+    sat::PreprocessorOptions options;
+    options.backend_min_clauses = 0;
+    PreprocessingBackend backend{options};
+    const Var a = backend.new_var();
+    const Var b = backend.new_var();
+    backend.freeze(a);
+    backend.freeze(b);
+    backend.add_clause(std::vector<Lit>{pos(a), pos(b)});
+    ASSERT_EQ(backend.solve(), sat::Result::satisfiable);
+    EXPECT_EQ(backend.rebuild_count(), 1U);
+
+    const Var c = backend.new_var();
+    backend.add_clause(std::vector<Lit>{neg(a), pos(c)});
+    backend.add_clause(std::vector<Lit>{neg(b), pos(c)});
+    ASSERT_EQ(backend.solve(), sat::Result::satisfiable);
+    EXPECT_EQ(backend.rebuild_count(), 1U);
+    EXPECT_TRUE(backend.model_value(c));  // (a v b) forces c through the new clauses
+
+    // assumptions over a post-rebuild variable work too
+    const Var d = backend.new_var();
+    backend.add_clause(std::vector<Lit>{neg(d), neg(c)});
+    ASSERT_EQ(backend.solve({pos(d)}), sat::Result::unsatisfiable);
+    EXPECT_EQ(backend.rebuild_count(), 1U);
+}
+
+TEST(SatPreprocessor, ClauseTouchingEliminatedVarForcesRebuild)
+{
+    // same instance as BveResolvesAndReconstructsForcedValue: x (Var 0) gets
+    // BVE-eliminated on the first solve. A later clause naming x cannot
+    // stream into the simplified inner formula — it must force a rebuild,
+    // after which the verdict reflects the grown formula.
+    sat::PreprocessorOptions options;
+    options.backend_min_clauses = 0;
+    PreprocessingBackend backend{options};
+    const Var x = backend.new_var();
+    const Var a = backend.new_var();
+    const Var b = backend.new_var();
+    const Var c = backend.new_var();
+    backend.freeze(a);
+    backend.freeze(b);
+    backend.freeze(c);
+    backend.add_clause(std::vector<Lit>{pos(x), pos(a), pos(b)});
+    backend.add_clause(std::vector<Lit>{neg(x), pos(a), pos(c)});
+    backend.add_clause(std::vector<Lit>{neg(a)});
+    ASSERT_EQ(backend.solve(), sat::Result::satisfiable);
+    EXPECT_EQ(backend.rebuild_count(), 1U);
+
+    backend.add_clause(std::vector<Lit>{neg(x)});
+    backend.add_clause(std::vector<Lit>{neg(b)});
+    ASSERT_EQ(backend.solve(), sat::Result::unsatisfiable);  // (x v a v b) with a, b, x all false
+    EXPECT_EQ(backend.rebuild_count(), 2U);
+}
+
+TEST(SatPreprocessor, ProofStaysCheckableAcrossMonotoneGrowth)
+{
+    // certification through the persistent solver: lemmas learned before the
+    // formula grew must stay valid proof steps when the refutation is checked
+    // against the GROWN original formula (root clauses only strengthen unit
+    // propagation, deletions are traced)
+    sat::PreprocessorOptions options;
+    options.backend_min_clauses = 0;
+    PreprocessingBackend backend{options};
+    sat::MemoryProofTracer tracer;
+    backend.set_proof_tracer(&tracer);
+    sat::Cnf cnf;
+    cnf.num_vars = 3;
+    cnf.clauses = {{1, 2}, {-1, 2}, {-2, 3}};
+    ASSERT_TRUE(sat::load_into_solver(backend, cnf));
+    backend.freeze(Var{2});  // 3 is pure; keep it so the growth clause streams
+    ASSERT_EQ(backend.solve(), sat::Result::satisfiable);
+    EXPECT_EQ(backend.rebuild_count(), 1U);
+
+    backend.add_clause(std::vector<Lit>{Lit{2, true}});  // -3: closes the chain
+    ASSERT_EQ(backend.solve(), sat::Result::unsatisfiable);
+    EXPECT_EQ(backend.rebuild_count(), 1U);
+
+    const auto check = sat::check_drat_proof(sat::to_cnf(backend.root_clauses()), tracer.proof());
+    EXPECT_TRUE(check.valid) << check.error;
 }
 
 }  // namespace
